@@ -1,0 +1,75 @@
+// Shared helpers for the benchmark/reproduction binaries.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenarios.hpp"
+#include "core/cost_model.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hinet::bench {
+
+/// One measured row: a scenario run `reps` times with derived seeds.
+struct MeasuredRow {
+  std::string model;
+  double time_mean = 0.0;       ///< measured rounds to completion
+  std::size_t time_sched = 0;   ///< scheduled rounds (the analytic "time")
+  double comm_mean = 0.0;       ///< measured tokens sent
+  double delivery = 0.0;        ///< fraction of runs that delivered
+  CostParams analytic;          ///< with measured θ/n_m/n_r
+};
+
+inline MeasuredRow measure_scenario(Scenario s, const ScenarioConfig& cfg,
+                                    std::size_t reps, std::uint64_t seed) {
+  MeasuredRow row;
+  row.model = scenario_name(s);
+  const ScenarioRun probe = make_scenario(s, cfg, seed);
+  row.time_sched = probe.scheduled_rounds;
+  row.analytic = probe.analytic;
+  const AggregateResult agg =
+      run_experiment(scenario_factory(s, cfg), reps, seed);
+  row.time_mean = agg.rounds_to_completion.mean;
+  row.comm_mean = agg.tokens_sent.mean;
+  row.delivery = agg.delivery_rate;
+  return row;
+}
+
+/// Analytic (time, comm) for a scenario at given parameters.
+inline std::pair<std::size_t, std::size_t> analytic_costs(Scenario s,
+                                                          const CostParams& p) {
+  switch (s) {
+    case Scenario::kKloInterval:
+      return {time_klo_interval(p), comm_klo_interval(p)};
+    case Scenario::kHiNetInterval:
+    case Scenario::kHiNetIntervalStable:
+      return {time_hinet_interval(p), comm_hinet_interval(p)};
+    case Scenario::kKloOne:
+      return {time_klo_one(p), comm_klo_one(p)};
+    case Scenario::kHiNetOne:
+      return {time_hinet_one(p), comm_hinet_one(p)};
+  }
+  return {0, 0};
+}
+
+inline int run_main(CliArgs& args, const std::string& summary,
+                    const std::function<void()>& body) {
+  if (args.help_requested()) {
+    std::cout << args.usage(summary);
+    return 0;
+  }
+  const auto unknown = args.unknown_options();
+  if (!unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return 2;
+  }
+  body();
+  return 0;
+}
+
+}  // namespace hinet::bench

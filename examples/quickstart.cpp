@@ -1,0 +1,76 @@
+// Quickstart: generate a (T, L)-HiNet trace, run Algorithm 1 on it with
+// the Theorem 1 schedule, verify the model properties, and print the
+// costs next to the analytic Table 2 prediction.
+//
+//   ./examples/quickstart [--nodes=N] [--heads=H] [--k=K] [--seed=S]
+#include <iostream>
+
+#include "analysis/scenarios.hpp"
+#include "core/hinet_properties.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hinet;
+
+int main(int argc, char** argv) try {
+  CliArgs args(argc, argv);
+  ScenarioConfig cfg;
+  cfg.nodes =
+      static_cast<std::size_t>(args.get_int("nodes", 60, "network size n0"));
+  cfg.heads = static_cast<std::size_t>(
+      args.get_int("heads", 8, "cluster-head budget (theta)"));
+  cfg.k = static_cast<std::size_t>(args.get_int("k", 6, "tokens to spread"));
+  cfg.alpha =
+      static_cast<std::size_t>(args.get_int("alpha", 2, "coefficient alpha"));
+  cfg.hop_l = static_cast<int>(
+      args.get_int("l", 2, "L-hop cluster-head connectivity"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7, "trace seed"));
+  if (args.help_requested()) {
+    std::cout << args.usage("quickstart: Algorithm 1 on a (T,L)-HiNet trace");
+    return 0;
+  }
+
+  std::cout << "hinet quickstart\n================\n\n";
+  std::cout << "1. Generating a (k+aL, L)-HiNet trace: n0=" << cfg.nodes
+            << ", heads=" << cfg.heads << ", k=" << cfg.k
+            << ", alpha=" << cfg.alpha << ", L=" << cfg.hop_l << "\n";
+
+  ScenarioRun run = make_scenario(Scenario::kHiNetInterval, cfg, seed);
+  std::cout << "   scheduled: " << run.scheduled_rounds << " rounds ("
+            << alg1_phase_count(run.analytic) << " phases of "
+            << alg1_min_phase_length(run.analytic) << " rounds)\n";
+  std::cout << "   trace dynamics: theta=" << run.trace_stats.theta
+            << "  n_m=" << run.trace_stats.mean_members
+            << "  n_r=" << run.trace_stats.mean_reaffiliations << "\n\n";
+
+  std::cout << "2. Checking the trace against Definition 8 ((T,L)-HiNet)\n";
+  auto* trace = static_cast<HiNetTrace*>(run.run.holder.get());
+  const std::size_t t = alg1_min_phase_length(run.analytic);
+  const PropertyResult ok = check_hinet(
+      trace->ctvg, trace->ctvg.round_count(), t, static_cast<int>(cfg.hop_l));
+  std::cout << "   " << (ok ? "model properties hold" : ok.violation) << "\n\n";
+
+  std::cout << "3. Running Algorithm 1 (k-token dissemination)\n";
+  const SimMetrics m = run_once(std::move(run.run));
+  std::cout << "   " << m.to_string() << "\n\n";
+
+  std::cout << "4. Comparing with the analytic cost model (Table 2 row)\n";
+  TextTable tbl({"quantity", "measured", "analytic bound"});
+  tbl.add("time (rounds)",
+          m.all_delivered ? std::to_string(m.rounds_to_completion) : "never",
+          std::to_string(time_hinet_interval(run.analytic)));
+  CostParams bound = run.analytic;
+  bound.n_r += 1;  // initial member uploads (see EXPERIMENTS.md)
+  tbl.add("communication (tokens)", std::to_string(m.tokens_sent),
+          std::to_string(comm_hinet_interval(bound)));
+  std::cout << tbl;
+
+  std::cout << "\nDone: all " << cfg.k << " tokens reached all " << cfg.nodes
+            << " nodes — " << (m.all_delivered ? "success" : "FAILURE")
+            << ".\n";
+  return m.all_delivered ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

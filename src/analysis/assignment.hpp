@@ -1,0 +1,32 @@
+// Initial token placement for the k-token dissemination problem: "each
+// node receives an initial set of tokens ... such that the total number of
+// tokens in the input to all nodes is k".
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/token_set.hpp"
+
+namespace hinet {
+
+enum class AssignmentMode {
+  /// Each of the k tokens starts at a distinct uniformly random node
+  /// (requires k <= n).  The canonical hard case: tokens must cross the
+  /// whole network.
+  kDistinctRandom,
+  /// All k tokens start at node 0 (broadcast / single-source case).
+  kSingleSource,
+  /// Token t starts at node t mod n (deterministic spread; useful for
+  /// reproducible walkthroughs).
+  kRoundRobin,
+};
+
+const char* assignment_mode_name(AssignmentMode mode);
+
+/// Produces one TokenSet per node with universe k.  Exactly k insertions
+/// are made in total across all nodes.
+std::vector<TokenSet> assign_tokens(std::size_t n, std::size_t k,
+                                    AssignmentMode mode, Rng& rng);
+
+}  // namespace hinet

@@ -1,0 +1,46 @@
+#include "analysis/experiment.hpp"
+
+#include <sstream>
+
+namespace hinet {
+
+std::string AggregateResult::to_string() const {
+  std::ostringstream os;
+  os << "reps=" << repetitions << " delivery=" << delivery_rate * 100.0
+     << "% rounds{mean=" << rounds_to_completion.mean
+     << "} tokens{mean=" << tokens_sent.mean << "}";
+  return os.str();
+}
+
+SimMetrics run_once(PreparedRun run) {
+  HINET_REQUIRE(run.net != nullptr, "run needs a network");
+  Engine engine(*run.net, run.hierarchy, std::move(run.processes));
+  return engine.run(run.engine);
+}
+
+AggregateResult run_experiment(const RunFactory& factory,
+                               std::size_t repetitions,
+                               std::uint64_t base_seed) {
+  HINET_REQUIRE(repetitions >= 1, "need at least one repetition");
+  std::vector<double> rounds, tokens, packets;
+  std::size_t delivered = 0;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const SimMetrics m = run_once(factory(base_seed + rep));
+    tokens.push_back(static_cast<double>(m.tokens_sent));
+    packets.push_back(static_cast<double>(m.packets_sent));
+    if (m.all_delivered) {
+      ++delivered;
+      rounds.push_back(static_cast<double>(m.rounds_to_completion));
+    }
+  }
+  AggregateResult out;
+  out.repetitions = repetitions;
+  out.delivery_rate =
+      static_cast<double>(delivered) / static_cast<double>(repetitions);
+  out.rounds_to_completion = summarize(std::move(rounds));
+  out.tokens_sent = summarize(std::move(tokens));
+  out.packets_sent = summarize(std::move(packets));
+  return out;
+}
+
+}  // namespace hinet

@@ -1,0 +1,47 @@
+// Experiment harness: repeat a seeded simulation, aggregate the metrics.
+//
+// A RunFactory builds everything one repetition needs (trace, hierarchy,
+// processes, engine config) from a seed; run_experiment executes
+// `repetitions` of them with derived seeds and summarises.  All benches
+// and sweep figures go through this path so their statistics are computed
+// identically.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace hinet {
+
+struct PreparedRun {
+  /// Keeps the trace (or any other backing storage) alive for the run.
+  std::shared_ptr<void> holder;
+  DynamicNetwork* net = nullptr;
+  HierarchyProvider* hierarchy = nullptr;  ///< null for flat algorithms
+  std::vector<ProcessPtr> processes;
+  EngineConfig engine;
+};
+
+using RunFactory = std::function<PreparedRun(std::uint64_t seed)>;
+
+struct AggregateResult {
+  Summary rounds_to_completion;  ///< over delivered runs only
+  Summary tokens_sent;
+  Summary packets_sent;
+  double delivery_rate = 0.0;  ///< fraction of repetitions that delivered
+  std::size_t repetitions = 0;
+
+  std::string to_string() const;
+};
+
+/// Executes `repetitions` runs with seeds base_seed, base_seed+1, ...
+AggregateResult run_experiment(const RunFactory& factory,
+                               std::size_t repetitions,
+                               std::uint64_t base_seed);
+
+/// Executes a single prepared run (convenience for examples/tests).
+SimMetrics run_once(PreparedRun run);
+
+}  // namespace hinet

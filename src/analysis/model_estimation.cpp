@@ -1,0 +1,54 @@
+#include "analysis/model_estimation.hpp"
+
+#include <algorithm>
+
+namespace hinet {
+
+StabilityEstimate estimate_stability(Ctvg& trace, std::size_t rounds,
+                                     std::size_t t_cap) {
+  HINET_REQUIRE(rounds >= 1, "need at least one round");
+  HINET_REQUIRE(rounds <= trace.round_count(), "rounds beyond the trace");
+  if (t_cap == 0 || t_cap > rounds) t_cap = rounds;
+
+  StabilityEstimate est;
+
+  // Aligned-phase properties are not monotone in T in general, so report
+  // the largest T that holds by direct scan.
+  for (std::size_t t = 1; t <= t_cap; ++t) {
+    if (check_stable_head_set(trace, rounds, t)) {
+      est.max_t_stable_head_set = t;
+    }
+    if (check_stable_hierarchy(trace, rounds, t)) {
+      est.max_t_stable_hierarchy = t;
+    }
+    if (check_head_connectivity(trace, rounds, t)) {
+      est.max_t_head_connectivity = t;
+    }
+  }
+
+  // Worst-case L over individual rounds.
+  est.worst_l = 0;
+  for (Round r = 0; r < rounds; ++r) {
+    const int l = measure_l_hop(trace, r);
+    if (l < 0) {
+      est.worst_l = -1;
+      break;
+    }
+    est.worst_l = std::max(est.worst_l, l);
+  }
+
+  if (est.worst_l >= 1) {
+    for (std::size_t t = 1; t <= t_cap; ++t) {
+      if (check_hinet(trace, rounds, t, est.worst_l)) {
+        est.max_t_hinet = t;
+      }
+    }
+  } else if (est.worst_l == 0) {
+    // Single cluster (fewer than two heads everywhere): Def. 7 is vacuous;
+    // the hierarchy stability alone decides.
+    est.max_t_hinet = est.max_t_stable_hierarchy;
+  }
+  return est;
+}
+
+}  // namespace hinet

@@ -1,0 +1,38 @@
+// Empirical model estimation: given an arbitrary CTVG trace (e.g. an
+// edge-Markovian or mobility topology with a *maintained* hierarchy, not a
+// generated one), measure which of the paper's stability properties hold
+// and at what strength.  This operationalises the future-work direction of
+// Section VI — "other flat dynamic network models ... should also be
+// extended with clusters" — by quantifying the (T, L) a given flat
+// dynamics actually provides.
+#pragma once
+
+#include "core/ctvg.hpp"
+#include "core/hinet_properties.hpp"
+
+namespace hinet {
+
+struct StabilityEstimate {
+  /// Largest T (aligned phases) for which Definition 2 / 4 / 5 holds over
+  /// the inspected rounds.  T = 1 holds trivially for Defs. 2-4; a value
+  /// of 0 for Def. 5 means even single rounds fail (heads disconnected).
+  std::size_t max_t_stable_head_set = 0;
+  std::size_t max_t_stable_hierarchy = 0;
+  std::size_t max_t_head_connectivity = 0;
+
+  /// Worst-case (max over rounds) Definition 6 measurement; -1 when the
+  /// backbone is disconnected in some round.
+  int worst_l = 0;
+
+  /// Largest T for which the full Definition 8 holds at L = worst_l
+  /// (0 when worst_l is -1).
+  std::size_t max_t_hinet = 0;
+};
+
+/// Scans [0, rounds).  `t_cap` bounds the largest T tried (defaults to
+/// rounds).  Cost is O(t_cap * rounds * n·deg) — intended for analysis-
+/// sized traces, not hot paths.
+StabilityEstimate estimate_stability(Ctvg& trace, std::size_t rounds,
+                                     std::size_t t_cap = 0);
+
+}  // namespace hinet

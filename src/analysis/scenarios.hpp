@@ -1,0 +1,65 @@
+// The four evaluation scenarios of the paper's Section V, prepared as
+// runnable simulations:
+//
+//   kKloInterval   — KLO pipeline on a (k+αL, L)-HiNet trace, hierarchy
+//                    ignored (the "(k+αL)-interval connected [7]" row);
+//   kHiNetInterval — Algorithm 1 on the same trace family;
+//   kHiNetIntervalStable — Remark 1 variant on an ∞-stable-head trace;
+//   kKloOne        — KLO full-broadcast forwarding on a (1, L)-HiNet trace;
+//   kHiNetOne      — Algorithm 2 on the same trace family.
+//
+// Each scenario builder returns the prepared run plus the generator's
+// observed dynamics statistics and the analytic CostParams instantiated
+// with those *measured* values (θ, n_m, n_r), so benches can print
+// analytic-vs-measured side by side.
+#pragma once
+
+#include "analysis/assignment.hpp"
+#include "analysis/experiment.hpp"
+#include "core/cost_model.hpp"
+#include "core/hinet_generator.hpp"
+
+namespace hinet {
+
+enum class Scenario {
+  kKloInterval,
+  kHiNetInterval,
+  kHiNetIntervalStable,
+  kKloOne,
+  kHiNetOne,
+};
+
+const char* scenario_name(Scenario s);
+
+struct ScenarioConfig {
+  std::size_t nodes = 100;
+  std::size_t heads = 30;  ///< generator head count; also the θ bound
+  std::size_t k = 8;
+  std::size_t alpha = 5;
+  int hop_l = 2;
+  /// Member re-affiliation probability per phase boundary (per round for
+  /// the (1, L) scenarios, whose phases are single rounds).
+  double reaffiliation_prob = 0.05;
+  std::size_t churn_edges = 4;
+  AssignmentMode assignment = AssignmentMode::kDistinctRandom;
+  /// Run the full schedule instead of stopping at completion, so measured
+  /// communication reflects the algorithm as specified (no oracle stop).
+  bool run_full_schedule = true;
+};
+
+struct ScenarioRun {
+  PreparedRun run;
+  HiNetTraceStats trace_stats;
+  /// CostParams with θ, n_m, n_r filled from the generated trace (rounded
+  /// to the nearest integer), ready for the Table 2 formulas.
+  CostParams analytic;
+  std::size_t scheduled_rounds = 0;
+};
+
+ScenarioRun make_scenario(Scenario s, const ScenarioConfig& cfg,
+                          std::uint64_t seed);
+
+/// RunFactory adapter for run_experiment.
+RunFactory scenario_factory(Scenario s, const ScenarioConfig& cfg);
+
+}  // namespace hinet

@@ -1,0 +1,61 @@
+#include "baseline/flooding.hpp"
+
+#include "sim/metrics.hpp"
+
+namespace hinet {
+
+FloodingProcess::FloodingProcess(NodeId self, TokenSet initial,
+                                 const FloodingParams& params)
+    : self_(self),
+      params_(params),
+      ta_(std::move(initial)),
+      learned_at_(params.k, kNever) {
+  HINET_REQUIRE(params_.k == ta_.universe(), "universe mismatch");
+  HINET_REQUIRE(params_.rounds >= 1, "M must be >= 1");
+  for (TokenId t : ta_.to_vector()) learned_at_[t] = 0;
+}
+
+bool FloodingProcess::finished(const RoundContext& ctx) const {
+  return ctx.round >= params_.rounds;
+}
+
+std::optional<Packet> FloodingProcess::transmit(const RoundContext& ctx) {
+  TokenSet active(params_.k);
+  for (TokenId t = 0; t < params_.k; ++t) {
+    if (learned_at_[t] == kNever) continue;
+    if (params_.activity == FloodingParams::kForever ||
+        ctx.round < learned_at_[t] + params_.activity) {
+      active.insert(t);
+    }
+  }
+  if (active.empty()) return std::nullopt;
+  Packet pkt;
+  pkt.src = self_;
+  pkt.dest = kBroadcastDest;
+  pkt.tokens = std::move(active);
+  return pkt;
+}
+
+void FloodingProcess::receive(const RoundContext& ctx,
+                              std::span<const Packet> inbox) {
+  for (const Packet& pkt : inbox) {
+    for (TokenId t : pkt.tokens.to_vector()) {
+      if (ta_.insert(t)) {
+        // Newly learned in round r: active for rounds r+1 .. r+activity.
+        learned_at_[t] = ctx.round + 1;
+      }
+    }
+  }
+}
+
+std::vector<ProcessPtr> make_flooding_processes(
+    const std::vector<TokenSet>& initial, const FloodingParams& params) {
+  std::vector<ProcessPtr> out;
+  out.reserve(initial.size());
+  for (NodeId v = 0; v < initial.size(); ++v) {
+    out.push_back(std::make_unique<FloodingProcess>(v, initial[v], params));
+  }
+  return out;
+}
+
+}  // namespace hinet

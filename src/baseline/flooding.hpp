@@ -1,0 +1,51 @@
+// Flooding baselines from the related-work section.
+//
+// FloodingProcess implements the family of flooding protocols the paper's
+// Section II surveys:
+//   - activity == kForever: classic flooding (O'Dell & Wattenhofer) — a
+//     node keeps re-broadcasting everything it knows each round; delivery
+//     is guaranteed on any 1-interval connected network.
+//   - finite activity a: Baumann et al.'s a-active (parsimonious)
+//     flooding — a node forwards a token only for the `a` rounds after
+//     first learning it, trading delivery latitude for communication.
+#pragma once
+
+#include <limits>
+
+#include "sim/process.hpp"
+
+namespace hinet {
+
+struct FloodingParams {
+  std::size_t k = 0;
+  std::size_t rounds = 0;  ///< M: scheduled length
+  /// How many rounds a token stays active (re-broadcast) after a node
+  /// first learns it.  kForever = classic flooding.
+  std::size_t activity = kForever;
+
+  static constexpr std::size_t kForever =
+      std::numeric_limits<std::size_t>::max();
+};
+
+class FloodingProcess final : public Process {
+ public:
+  FloodingProcess(NodeId self, TokenSet initial, const FloodingParams& params);
+
+  std::optional<Packet> transmit(const RoundContext& ctx) override;
+  void receive(const RoundContext& ctx,
+               std::span<const Packet> inbox) override;
+  const TokenSet& knowledge() const override { return ta_; }
+  bool finished(const RoundContext& ctx) const override;
+
+ private:
+  NodeId self_;
+  FloodingParams params_;
+  TokenSet ta_;
+  /// Round at which each known token was learned (kNever = unknown).
+  std::vector<std::size_t> learned_at_;
+};
+
+std::vector<ProcessPtr> make_flooding_processes(
+    const std::vector<TokenSet>& initial, const FloodingParams& params);
+
+}  // namespace hinet

@@ -1,0 +1,43 @@
+// Randomized push gossip (Pittel-style rumour spreading), the classic
+// probabilistic dissemination approach surveyed in Section II.
+//
+// Each round, every node picks one current neighbour uniformly at random
+// and pushes one uniformly random token from its collected set.  Delivery
+// is probabilistic — the benches report completion *rates* rather than
+// guarantees, which is precisely the contrast with the deterministic
+// algorithms the paper designs.
+#pragma once
+
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+
+struct GossipParams {
+  std::size_t k = 0;
+  std::size_t rounds = 0;       ///< scheduled length
+  std::uint64_t seed = 1;       ///< base seed; per-node stream derived
+  bool push_full_set = false;   ///< push entire TA instead of one token
+};
+
+class GossipProcess final : public Process {
+ public:
+  GossipProcess(NodeId self, TokenSet initial, const GossipParams& params);
+
+  std::optional<Packet> transmit(const RoundContext& ctx) override;
+  void receive(const RoundContext& ctx,
+               std::span<const Packet> inbox) override;
+  const TokenSet& knowledge() const override { return ta_; }
+  bool finished(const RoundContext& ctx) const override;
+
+ private:
+  NodeId self_;
+  GossipParams params_;
+  TokenSet ta_;
+  Rng rng_;
+};
+
+std::vector<ProcessPtr> make_gossip_processes(
+    const std::vector<TokenSet>& initial, const GossipParams& params);
+
+}  // namespace hinet

@@ -1,0 +1,135 @@
+#include "baseline/network_coding.hpp"
+
+#include <bit>
+
+namespace hinet {
+
+Gf2Basis::Gf2Basis(std::size_t k) : k_(k), words_(words_for(k)) {}
+
+std::size_t Gf2Basis::reduce(std::vector<std::uint64_t>& vec) const {
+  HINET_REQUIRE(vec.size() == words_, "vector width mismatch");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const std::size_t p = pivot_[i];
+    if ((vec[p / 64] >> (p % 64)) & 1ULL) {
+      for (std::size_t w = 0; w < words_; ++w) vec[w] ^= rows_[i][w];
+    }
+  }
+  // Leading (lowest-index) set bit, or k_ when zero.
+  for (std::size_t w = 0; w < words_; ++w) {
+    if (vec[w] != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(vec[w]));
+    }
+  }
+  return k_;
+}
+
+bool Gf2Basis::insert(std::vector<std::uint64_t> vec) {
+  const std::size_t lead = reduce(vec);
+  if (lead >= k_) return false;  // dependent (or zero)
+  // Back-substitute: clear this pivot bit from existing rows so the basis
+  // stays in reduced form and reduce() needs a single pass.
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if ((rows_[i][lead / 64] >> (lead % 64)) & 1ULL) {
+      for (std::size_t w = 0; w < words_; ++w) rows_[i][w] ^= vec[w];
+    }
+  }
+  rows_.push_back(std::move(vec));
+  pivot_.push_back(lead);
+  return true;
+}
+
+bool Gf2Basis::contains(const std::vector<std::uint64_t>& vec) const {
+  std::vector<std::uint64_t> copy = vec;
+  return reduce(copy) >= k_;
+}
+
+bool Gf2Basis::decodable(TokenId t) const {
+  HINET_REQUIRE(t < k_, "token outside universe");
+  return contains(unit(t));
+}
+
+std::vector<std::uint64_t> Gf2Basis::unit(TokenId t) const {
+  std::vector<std::uint64_t> vec(words_, 0);
+  vec[t / 64] = 1ULL << (t % 64);
+  return vec;
+}
+
+std::vector<std::uint64_t> Gf2Basis::random_combination(Rng& rng) const {
+  std::vector<std::uint64_t> vec(words_, 0);
+  if (rows_.empty()) return vec;
+  bool nonzero = false;
+  while (!nonzero) {
+    for (std::size_t w = 0; w < words_; ++w) vec[w] = 0;
+    for (const auto& row : rows_) {
+      if (rng.bernoulli(0.5)) {
+        nonzero = true;  // at least one row included => nonzero (basis rows
+                         // are independent, so any nonempty XOR is nonzero)
+        for (std::size_t w = 0; w < words_; ++w) vec[w] ^= row[w];
+      }
+    }
+  }
+  return vec;
+}
+
+NetworkCodingProcess::NetworkCodingProcess(NodeId self, TokenSet initial,
+                                           const NetworkCodingParams& params)
+    : self_(self),
+      params_(params),
+      basis_(params.k),
+      decoded_(params.k),
+      rng_(params.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))) {
+  HINET_REQUIRE(params_.k == initial.universe(), "universe mismatch");
+  HINET_REQUIRE(params_.rounds >= 1, "M must be >= 1");
+  for (TokenId t : initial.to_vector()) {
+    basis_.insert(basis_.unit(t));
+  }
+  refresh_decoded();
+}
+
+bool NetworkCodingProcess::finished(const RoundContext& ctx) const {
+  return ctx.round >= params_.rounds;
+}
+
+void NetworkCodingProcess::refresh_decoded() {
+  if (basis_.full_rank()) {
+    for (TokenId t = 0; t < params_.k; ++t) decoded_.insert(t);
+    return;
+  }
+  for (TokenId t = 0; t < params_.k; ++t) {
+    if (!decoded_.contains(t) && basis_.decodable(t)) decoded_.insert(t);
+  }
+}
+
+std::optional<Packet> NetworkCodingProcess::transmit(const RoundContext&) {
+  if (basis_.rank() == 0) return std::nullopt;
+  Packet pkt;
+  pkt.src = self_;
+  pkt.dest = kBroadcastDest;
+  pkt.tokens =
+      TokenSet::from_words(params_.k, basis_.random_combination(rng_));
+  pkt.wire_tokens = 1;  // one coded payload + k-bit header
+  return pkt;
+}
+
+void NetworkCodingProcess::receive(const RoundContext&,
+                                   std::span<const Packet> inbox) {
+  bool grew = false;
+  for (const Packet& pkt : inbox) {
+    const auto words = pkt.tokens.words();
+    grew |= basis_.insert({words.begin(), words.end()});
+  }
+  if (grew) refresh_decoded();
+}
+
+std::vector<ProcessPtr> make_network_coding_processes(
+    const std::vector<TokenSet>& initial, const NetworkCodingParams& params) {
+  std::vector<ProcessPtr> out;
+  out.reserve(initial.size());
+  for (NodeId v = 0; v < initial.size(); ++v) {
+    out.push_back(
+        std::make_unique<NetworkCodingProcess>(v, initial[v], params));
+  }
+  return out;
+}
+
+}  // namespace hinet

@@ -1,0 +1,180 @@
+#include "cluster/dhop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "cluster/algorithms.hpp"
+
+namespace hinet {
+
+namespace {
+
+/// Affiliates `v` with `head` regardless of hop distance (set_member
+/// requires 1-hop; d-hop clusters bypass that by writing roles directly
+/// through the same API head-first).
+void affiliate(HierarchyView& h, NodeId v, NodeId head) {
+  // HierarchyView::set_member checks only that the target is a head, not
+  // adjacency — adjacency is validated separately with validate(g, d).
+  h.set_member(v, head);
+}
+
+}  // namespace
+
+HierarchyView greedy_dhop_clustering(const Graph& g, std::size_t d) {
+  HINET_REQUIRE(d >= 1, "d must be >= 1");
+  const std::size_t n = g.node_count();
+  HierarchyView h(n);
+  std::vector<char> decided(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (decided[v]) continue;
+    h.set_head(v);
+    decided[v] = 1;
+    // Capture every undecided node within d hops.
+    const auto dist = g.distances_from(v);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!decided[u] && dist[u] > 0 &&
+          static_cast<std::size_t>(dist[u]) <= d) {
+        affiliate(h, u, v);
+        decided[u] = 1;
+      }
+    }
+  }
+  select_sparse_gateways(h, g);
+  return h;
+}
+
+HierarchyView maxmin_dhop_clustering(const Graph& g, std::size_t d) {
+  HINET_REQUIRE(d >= 1, "d must be >= 1");
+  const std::size_t n = g.node_count();
+  HierarchyView h(n);
+  if (n == 0) return h;
+
+  // Floodmax: d synchronous rounds of max-id propagation.
+  std::vector<std::vector<NodeId>> vmax(d + 1, std::vector<NodeId>(n));
+  for (NodeId v = 0; v < n; ++v) vmax[0][v] = v;
+  for (std::size_t r = 1; r <= d; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId best = vmax[r - 1][v];
+      for (NodeId u : g.neighbors(v)) best = std::max(best, vmax[r - 1][u]);
+      vmax[r][v] = best;
+    }
+  }
+  // Floodmin: d rounds of min-id propagation seeded with the floodmax
+  // result.
+  std::vector<std::vector<NodeId>> vmin(d + 1, std::vector<NodeId>(n));
+  vmin[0] = vmax[d];
+  for (std::size_t r = 1; r <= d; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId best = vmin[r - 1][v];
+      for (NodeId u : g.neighbors(v)) best = std::min(best, vmin[r - 1][u]);
+      vmin[r][v] = best;
+    }
+  }
+
+  // Winner election per the Max-Min rules.
+  std::vector<NodeId> winner(n);
+  for (NodeId v = 0; v < n; ++v) {
+    // Rule 1: v saw its own id during floodmin -> v is a head.
+    bool own_id_returned = false;
+    for (std::size_t r = 1; r <= d; ++r) {
+      if (vmin[r][v] == v) {
+        own_id_returned = true;
+        break;
+      }
+    }
+    if (own_id_returned) {
+      winner[v] = v;
+      continue;
+    }
+    // Rule 2: node pairs — ids seen in both flood phases; pick the
+    // smallest.
+    std::set<NodeId> seen_max;
+    for (std::size_t r = 0; r <= d; ++r) seen_max.insert(vmax[r][v]);
+    NodeId pair_winner = kNoCluster;
+    for (std::size_t r = 1; r <= d; ++r) {
+      if (seen_max.contains(vmin[r][v])) {
+        pair_winner = std::min(pair_winner, vmin[r][v]);
+      }
+    }
+    if (pair_winner != kNoCluster) {
+      winner[v] = pair_winner;
+      continue;
+    }
+    // Rule 3: fall back to the floodmax maximum.
+    winner[v] = vmax[d][v];
+  }
+
+  // Materialise: self-winners head clusters; everyone else affiliates with
+  // their winner if it is a head within d hops, otherwise with the nearest
+  // head (robustness guard for heuristic corner cases), else promotes.
+  std::vector<char> is_head(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (winner[v] == v) {
+      h.set_head(v);
+      is_head[v] = 1;
+    }
+  }
+  std::vector<std::vector<int>> dist_cache(n);
+  auto dist_from = [&](NodeId head) -> const std::vector<int>& {
+    if (dist_cache[head].empty()) dist_cache[head] = g.distances_from(head);
+    return dist_cache[head];
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_head[v]) continue;
+    NodeId target = kNoCluster;
+    const NodeId w = winner[v];
+    if (w < n && is_head[w]) {
+      const int dist = dist_from(w)[v];
+      if (dist > 0 && static_cast<std::size_t>(dist) <= d) target = w;
+    }
+    if (target == kNoCluster) {
+      int best = std::numeric_limits<int>::max();
+      for (NodeId head = 0; head < n; ++head) {
+        if (!is_head[head]) continue;
+        const int dist = dist_from(head)[v];
+        if (dist > 0 && static_cast<std::size_t>(dist) <= d && dist < best) {
+          best = dist;
+          target = head;
+        }
+      }
+    }
+    if (target == kNoCluster) {
+      h.set_head(v);
+      is_head[v] = 1;
+    } else {
+      affiliate(h, v, target);
+    }
+  }
+  select_sparse_gateways(h, g);
+  return h;
+}
+
+DhopStats measure_dhop(const HierarchyView& h, const Graph& g) {
+  DhopStats s;
+  const auto heads = h.heads();
+  s.heads = heads.size();
+  s.gateways = h.gateway_count();
+  std::size_t affiliated = 0;
+  for (NodeId head : heads) {
+    const auto dist = g.distances_from(head);
+    const auto members = h.members_of(head);
+    affiliated += members.size();
+    for (NodeId v : members) {
+      if (v == head) continue;
+      if (dist[v] > 0) {
+        s.max_radius =
+            std::max(s.max_radius, static_cast<std::size_t>(dist[v]));
+      }
+    }
+  }
+  s.mean_cluster_size =
+      heads.empty() ? 0.0
+                    : static_cast<double>(affiliated) /
+                          static_cast<double>(heads.size());
+  return s;
+}
+
+}  // namespace hinet

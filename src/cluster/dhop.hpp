@@ -1,0 +1,43 @@
+// d-hop (multi-hop) clustering — the paper's Section VI future-work item
+// ("how to handle multi-hop clusters should be an interesting issue").
+//
+// Two schemes:
+//   - greedy_dhop_clustering: id-ordered greedy capture generalised to
+//     radius d — an undecided node becomes a head and captures every
+//     undecided node within d hops.  Simple, deterministic, and the
+//     d-hop analogue of lowest-ID clustering.
+//   - maxmin_dhop_clustering: the Max-Min d-cluster heuristic (Amis,
+//     Prakash, Vuong & Huynh, INFOCOM 2000): 2d rounds of flooding —
+//     d rounds of max-id propagation then d rounds of min-id — after
+//     which a node heads a cluster iff its own id survived; every node
+//     affiliates with the winner id it converged to.  Produces better
+//     balanced clusters and is the classic distributed algorithm for the
+//     problem.
+//
+// Both return hierarchies whose members are within d hops of their head
+// (validate(g, d) passes).  Gateways are chosen sparsely per adjacent
+// cluster pair as in the 1-hop case.
+#pragma once
+
+#include "cluster/hierarchy.hpp"
+#include "graph/graph.hpp"
+
+namespace hinet {
+
+/// Greedy id-ordered d-hop capture clustering.
+HierarchyView greedy_dhop_clustering(const Graph& g, std::size_t d);
+
+/// Max-Min d-cluster formation.
+HierarchyView maxmin_dhop_clustering(const Graph& g, std::size_t d);
+
+/// Statistics of a d-hop clustering, for the ablation bench.
+struct DhopStats {
+  std::size_t heads = 0;
+  std::size_t max_radius = 0;    ///< max member-to-head hop distance
+  double mean_cluster_size = 0;  ///< members per cluster incl. head
+  std::size_t gateways = 0;
+};
+
+DhopStats measure_dhop(const HierarchyView& h, const Graph& g);
+
+}  // namespace hinet

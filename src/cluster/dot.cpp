@@ -1,0 +1,66 @@
+#include "cluster/dot.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace hinet {
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << v << "\"];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Graph& g, const HierarchyView& h,
+                   const std::string& name) {
+  HINET_REQUIRE(g.node_count() == h.node_count(),
+                "graph/hierarchy node count mismatch");
+  // Stable small color indices per cluster id.
+  std::map<ClusterId, int> color;
+  for (NodeId head : h.heads()) {
+    const int idx = static_cast<int>(color.size()) % 9 + 1;  // colorscheme set19
+    color[head] = idx;
+  }
+
+  std::ostringstream os;
+  os << "graph " << name << " {\n"
+     << "  node [style=filled, colorscheme=set19];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const char* shape = "circle";
+    if (h.is_head(v)) {
+      shape = "doublecircle";
+    } else if (h.is_gateway(v)) {
+      shape = "diamond";
+    }
+    const ClusterId c = h.cluster_of(v);
+    const int fill = c != kNoCluster && color.contains(c) ? color[c] : 0;
+    os << "  n" << v << " [label=\"" << v << "\", shape=" << shape;
+    if (fill > 0) {
+      os << ", fillcolor=" << fill;
+    } else {
+      os << ", fillcolor=white";
+    }
+    os << "];\n";
+  }
+  auto backbone_node = [&](NodeId v) {
+    return h.is_head(v) || h.is_gateway(v);
+  };
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v;
+    if (backbone_node(e.u) && backbone_node(e.v)) {
+      os << " [penwidth=2.5]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hinet

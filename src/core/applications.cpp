@@ -1,0 +1,78 @@
+#include "core/applications.hpp"
+
+#include "baseline/klo.hpp"
+#include "core/alg1.hpp"
+#include "core/alg2.hpp"
+#include "sim/engine.hpp"
+
+namespace hinet {
+
+bool ComputationResult::agreement_and_exact() const {
+  if (answers.empty()) return false;
+  const std::size_t n = answers.size();
+  const auto& first = answers.front();
+  for (const NodeAnswer& a : answers) {
+    if (a.count != n) return false;
+    if (!a.leader.has_value() || a.leader != first.leader) return false;
+  }
+  return true;
+}
+
+ComputationResult count_and_elect(DynamicNetwork& net,
+                                  HierarchyProvider* hierarchy,
+                                  const ComputationConfig& cfg) {
+  const std::size_t n = net.node_count();
+  HINET_REQUIRE(n >= 1, "empty network");
+
+  // Each node injects its own id: k = n, token v at node v.
+  std::vector<TokenSet> initial(n, TokenSet(n));
+  for (NodeId v = 0; v < n; ++v) initial[v].insert(v);
+
+  std::vector<ProcessPtr> processes;
+  std::size_t rounds = cfg.rounds;
+  switch (cfg.kind) {
+    case DisseminationKind::kAlg1: {
+      HINET_REQUIRE(cfg.alg1_phase_length > 0 && cfg.alg1_phases > 0,
+                    "Algorithm 1 needs an explicit phase schedule");
+      HINET_REQUIRE(hierarchy != nullptr, "Algorithm 1 needs a hierarchy");
+      Alg1Params p;
+      p.k = n;
+      p.phase_length = cfg.alg1_phase_length;
+      p.phases = cfg.alg1_phases;
+      processes = make_alg1_processes(initial, p);
+      if (rounds == 0) rounds = alg1_scheduled_rounds(p);
+      break;
+    }
+    case DisseminationKind::kAlg2: {
+      HINET_REQUIRE(hierarchy != nullptr, "Algorithm 2 needs a hierarchy");
+      if (rounds == 0) rounds = n >= 2 ? n - 1 : 1;
+      Alg2Params p;
+      p.k = n;
+      p.rounds = rounds;
+      processes = make_alg2_processes(initial, p);
+      break;
+    }
+    case DisseminationKind::kKloFlood: {
+      if (rounds == 0) rounds = n >= 2 ? n - 1 : 1;
+      KloFloodParams p;
+      p.k = n;
+      p.rounds = rounds;
+      processes = make_klo_flood_processes(initial, p);
+      break;
+    }
+  }
+
+  Engine engine(net, hierarchy, std::move(processes));
+  ComputationResult result;
+  result.metrics =
+      engine.run({.max_rounds = rounds, .stop_when_complete = false});
+  result.answers.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const TokenSet& ta = engine.process(v).knowledge();
+    result.answers[v].count = ta.count();
+    result.answers[v].leader = ta.max_element();
+  }
+  return result;
+}
+
+}  // namespace hinet

@@ -1,0 +1,63 @@
+// Distributed computation on top of k-token dissemination.
+//
+// The paper's introduction frames dissemination as the building block for
+// "distributed computation problems ... studied with rigorous
+// correctness"; Kuhn, Lynch & Oshman's original motivation was counting
+// and consensus.  This module provides the two classic reductions:
+//
+//   - Counting: every node injects its own id as a token (k = n); after
+//     dissemination each node outputs |TA| as the network size.
+//   - Leader election: after the same dissemination, each node outputs
+//     max(TA) — all nodes agree on the highest id (the leader).
+//
+// Both inherit the dissemination algorithm's correctness: on a trace where
+// the chosen algorithm's theorem applies, every node's answer is exact and
+// all nodes agree.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+#include "graph/dynamic.hpp"
+#include "sim/metrics.hpp"
+
+namespace hinet {
+
+enum class DisseminationKind {
+  kAlg1,      ///< Algorithm 1 (needs a (T,L)-HiNet hierarchy + schedule)
+  kAlg2,      ///< Algorithm 2 (needs a hierarchy; M = n-1 default)
+  kKloFlood,  ///< flat KLO token forwarding (M = n-1)
+};
+
+struct ComputationConfig {
+  DisseminationKind kind = DisseminationKind::kKloFlood;
+  /// Rounds to run; 0 = the theorem default for the kind (n-1 for Alg2 and
+  /// KLO; Alg1 requires explicit phase parameters below).
+  std::size_t rounds = 0;
+  /// Algorithm 1 schedule (used only for kAlg1).
+  std::size_t alg1_phase_length = 0;
+  std::size_t alg1_phases = 0;
+};
+
+struct NodeAnswer {
+  std::size_t count = 0;                 ///< |TA|: believed network size
+  std::optional<NodeId> leader;          ///< max(TA): believed leader
+};
+
+struct ComputationResult {
+  std::vector<NodeAnswer> answers;  ///< per node
+  SimMetrics metrics;
+
+  /// True when every node's count equals n and every node names the same
+  /// leader (the correctness predicate of both reductions).
+  bool agreement_and_exact() const;
+};
+
+/// Runs the id-dissemination computation.  `hierarchy` may be null for
+/// kKloFlood; it is required for kAlg1/kAlg2.
+ComputationResult count_and_elect(DynamicNetwork& net,
+                                  HierarchyProvider* hierarchy,
+                                  const ComputationConfig& cfg);
+
+}  // namespace hinet

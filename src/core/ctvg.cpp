@@ -1,0 +1,27 @@
+#include "core/ctvg.hpp"
+
+#include <sstream>
+
+namespace hinet {
+
+Ctvg::Ctvg(GraphSequence topology, HierarchySequence hierarchy)
+    : topology_(std::move(topology)), hierarchy_(std::move(hierarchy)) {
+  HINET_REQUIRE(topology_.node_count() == hierarchy_.node_count(),
+                "topology/hierarchy node count mismatch");
+  HINET_REQUIRE(topology_.round_count() == hierarchy_.round_count(),
+                "topology/hierarchy round count mismatch");
+}
+
+std::string Ctvg::validate() {
+  for (Round r = 0; r < round_count(); ++r) {
+    const std::string err = hierarchy_at(r).validate(graph_at(r));
+    if (!err.empty()) {
+      std::ostringstream os;
+      os << "round " << r << ": " << err;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace hinet

@@ -1,0 +1,46 @@
+// CTVG — Cluster-based Time-Varying Graph (Definition 1).
+//
+// G = (V, E, Γ, ρ, ζ, C, I): a TVG plus the node-status function C and the
+// cluster-membership function I.  In this discrete-round reproduction:
+//   - V, E, Γ, ρ are realised by a GraphSequence (one Graph per round);
+//   - ζ (edge latency) is the constant one round, as in the synchronous
+//     send/receive model the paper's algorithms assume;
+//   - C and I are realised by a HierarchySequence (one HierarchyView per
+//     round).
+#pragma once
+
+#include <string>
+
+#include "cluster/hierarchy.hpp"
+#include "graph/dynamic.hpp"
+
+namespace hinet {
+
+class Ctvg {
+ public:
+  /// Takes ownership of a topology trace and a hierarchy trace of the same
+  /// node set and length.
+  Ctvg(GraphSequence topology, HierarchySequence hierarchy);
+
+  std::size_t node_count() const { return topology_.node_count(); }
+  std::size_t round_count() const { return topology_.round_count(); }
+
+  const Graph& graph_at(Round r) { return topology_.graph_at(r); }
+  const HierarchyView& hierarchy_at(Round r) {
+    return hierarchy_.hierarchy_at(r);
+  }
+
+  GraphSequence& topology() { return topology_; }
+  HierarchySequence& hierarchy() { return hierarchy_; }
+
+  /// Structural validation of every round (1-hop membership etc.).
+  /// Returns an empty string when valid, else the first violation,
+  /// prefixed with the round index.
+  std::string validate();
+
+ private:
+  GraphSequence topology_;
+  HierarchySequence hierarchy_;
+};
+
+}  // namespace hinet

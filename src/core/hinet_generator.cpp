@@ -1,0 +1,250 @@
+#include "core/hinet_generator.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace hinet {
+
+std::size_t hinet_min_nodes(std::size_t heads, int hop_l) {
+  HINET_REQUIRE(heads >= 1, "need at least one head");
+  HINET_REQUIRE(hop_l >= 1, "L must be >= 1");
+  const std::size_t relays =
+      heads >= 1 ? (heads - 1) * static_cast<std::size_t>(hop_l - 1) : 0;
+  return heads + relays;
+}
+
+namespace {
+
+/// The backbone layout: heads threaded on a chain with L-1 relay gateways
+/// between consecutive heads.  Persisted across phases unless a rewire is
+/// requested, so (1, L) traces can model a quasi-stable relay structure.
+struct BackboneLayout {
+  std::vector<NodeId> chain;     ///< heads in chain order
+  std::vector<NodeId> gateways;  ///< relay nodes, chain order
+};
+
+BackboneLayout plan_backbone(const HiNetConfig& cfg,
+                             const std::vector<NodeId>& head_set, Rng& rng) {
+  const std::size_t n = cfg.nodes;
+  const auto l = static_cast<std::size_t>(cfg.hop_l);
+  BackboneLayout layout;
+  layout.chain = head_set;
+  rng.shuffle(layout.chain);
+
+  std::vector<char> is_head(n, 0);
+  for (NodeId h : layout.chain) is_head[h] = 1;
+
+  std::vector<NodeId> pool;
+  pool.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!is_head[v]) pool.push_back(v);
+  }
+  const std::size_t relay_count =
+      layout.chain.empty() ? 0 : (layout.chain.size() - 1) * (l - 1);
+  HINET_REQUIRE(pool.size() >= relay_count,
+                "not enough nodes for the backbone relays");
+  rng.shuffle(pool);
+  layout.gateways.assign(
+      pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(relay_count));
+  return layout;
+}
+
+struct PhasePlan {
+  std::vector<ClusterId> head_of;  ///< per node affiliation (kNoCluster ok)
+  Graph stable;                    ///< backbone + member edges
+  HierarchyView view;
+};
+
+/// Lays out one phase from a backbone layout: build the chain graph, then
+/// affiliate every non-backbone node with a head (keeping its previous
+/// head when possible — the re-affiliation coin decides churn).
+PhasePlan plan_phase(const HiNetConfig& cfg, const BackboneLayout& layout,
+                     const std::vector<ClusterId>& prev_head_of, Rng& rng,
+                     std::size_t* reaffiliations) {
+  const std::size_t n = cfg.nodes;
+  const auto l = static_cast<std::size_t>(cfg.hop_l);
+  PhasePlan plan;
+  plan.stable = Graph(n);
+  plan.view = HierarchyView(n);
+  plan.head_of.assign(n, kNoCluster);
+
+  std::vector<char> is_head(n, 0);
+  for (NodeId h : layout.chain) {
+    plan.view.set_head(h);
+    plan.head_of[h] = h;
+    is_head[h] = 1;
+  }
+  std::vector<char> is_gateway(n, 0);
+  for (NodeId v : layout.gateways) is_gateway[v] = 1;
+
+  std::size_t relay_cursor = 0;
+  for (std::size_t i = 0; i + 1 < layout.chain.size(); ++i) {
+    NodeId prev = layout.chain[i];
+    const NodeId right = layout.chain[i + 1];
+    for (std::size_t hop = 1; hop < l; ++hop) {
+      const NodeId relay = layout.gateways[relay_cursor++];
+      plan.stable.add_edge(prev, relay);
+      // Affiliate the relay with whichever chain head it is adjacent to;
+      // middle relays of an L>3 backbone touch no head and stay
+      // unaffiliated (the "at most one cluster" case).
+      if (hop == 1) {
+        plan.view.set_member(relay, layout.chain[i], /*gateway=*/true);
+        plan.head_of[relay] = layout.chain[i];
+      } else if (hop == l - 1) {
+        plan.view.set_member(relay, right, /*gateway=*/true);
+        plan.head_of[relay] = right;
+      } else {
+        plan.view.set_unaffiliated_gateway(relay);
+      }
+      prev = relay;
+    }
+    plan.stable.add_edge(prev, right);
+  }
+
+  // Members: everyone not a head or relay.
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_head[v] || is_gateway[v]) continue;
+    const ClusterId prev = prev_head_of[v];
+    ClusterId target = kNoCluster;
+    const bool prev_valid = prev != kNoCluster && is_head[prev];
+    if (prev_valid && !rng.bernoulli(cfg.reaffiliation_prob)) {
+      target = prev;
+    } else {
+      target = rng.pick(layout.chain);
+      if (prev_valid && target != prev && reaffiliations != nullptr) {
+        ++*reaffiliations;
+      }
+      // Forced moves (previous head vanished) also count: the member must
+      // re-affiliate regardless of the coin.
+      if (!prev_valid && prev != kNoCluster && reaffiliations != nullptr) {
+        ++*reaffiliations;
+      }
+    }
+    plan.view.set_member(v, target);
+    plan.head_of[v] = target;
+    plan.stable.add_edge(v, target);
+  }
+
+  HINET_ENSURE(plan.view.validate(plan.stable).empty(),
+               "generated phase hierarchy invalid");
+  return plan;
+}
+
+void add_churn_edges(Graph& g, std::size_t count, Rng& rng) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return;
+  for (std::size_t e = 0; e < count; ++e) {
+    const auto a = static_cast<NodeId>(rng.below(n));
+    const auto b = static_cast<NodeId>(rng.below(n));
+    if (a != b) g.add_edge(a, b);
+  }
+}
+
+}  // namespace
+
+HiNetTrace make_hinet_trace(const HiNetConfig& cfg) {
+  HINET_REQUIRE(cfg.nodes >= 1, "need nodes");
+  HINET_REQUIRE(cfg.heads >= 1, "need at least one head");
+  HINET_REQUIRE(cfg.phase_length >= 1, "T must be >= 1");
+  HINET_REQUIRE(cfg.phases >= 1, "need at least one phase");
+  HINET_REQUIRE(cfg.hop_l >= 1, "L must be >= 1");
+  HINET_REQUIRE(cfg.nodes >= hinet_min_nodes(cfg.heads, cfg.hop_l),
+                "node budget too small for heads + backbone relays");
+  HINET_REQUIRE(
+      cfg.reaffiliation_prob >= 0.0 && cfg.reaffiliation_prob <= 1.0,
+      "reaffiliation_prob outside [0,1]");
+  HINET_REQUIRE(cfg.head_churn_prob >= 0.0 && cfg.head_churn_prob <= 1.0,
+                "head_churn_prob outside [0,1]");
+  HINET_REQUIRE(
+      cfg.backbone_rewire_prob >= 0.0 && cfg.backbone_rewire_prob <= 1.0,
+      "backbone_rewire_prob outside [0,1]");
+
+  Rng rng(cfg.seed);
+  Rng layout_rng = rng.fork();
+  Rng churn_rng = rng.fork();
+  Rng head_rng = rng.fork();
+
+  // Initial head set: random distinct nodes.
+  std::vector<NodeId> head_set;
+  for (std::size_t idx : head_rng.sample(cfg.nodes, cfg.heads)) {
+    head_set.push_back(static_cast<NodeId>(idx));
+  }
+  std::sort(head_set.begin(), head_set.end());
+
+  std::vector<ClusterId> prev_head_of(cfg.nodes, kNoCluster);
+  std::vector<char> ever_head(cfg.nodes, 0);
+  for (NodeId h : head_set) ever_head[h] = 1;
+
+  std::vector<Graph> graphs;
+  std::vector<HierarchyView> views;
+  graphs.reserve(cfg.phases * cfg.phase_length);
+  views.reserve(cfg.phases * cfg.phase_length);
+
+  HiNetTraceStats stats;
+  double member_round_sum = 0.0;
+  BackboneLayout layout;
+
+  for (std::size_t phase = 0; phase < cfg.phases; ++phase) {
+    // Head churn at phase boundaries (never in ∞-stable mode).
+    bool heads_changed = false;
+    if (phase > 0 && !cfg.stable_heads && cfg.head_churn_prob > 0.0) {
+      for (NodeId& h : head_set) {
+        if (!head_rng.bernoulli(cfg.head_churn_prob)) continue;
+        // Swap head role with a random non-head node.
+        std::vector<char> is_head(cfg.nodes, 0);
+        for (NodeId x : head_set) is_head[x] = 1;
+        NodeId replacement = h;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const auto cand = static_cast<NodeId>(head_rng.below(cfg.nodes));
+          if (!is_head[cand]) {
+            replacement = cand;
+            break;
+          }
+        }
+        if (replacement != h) {
+          h = replacement;
+          ever_head[replacement] = 1;
+          heads_changed = true;
+        }
+      }
+      if (heads_changed) {
+        std::sort(head_set.begin(), head_set.end());
+        ++stats.head_changes;
+      }
+    }
+
+    if (phase == 0 || heads_changed ||
+        layout_rng.bernoulli(cfg.backbone_rewire_prob)) {
+      layout = plan_backbone(cfg, head_set, layout_rng);
+    }
+    PhasePlan plan = plan_phase(cfg, layout, prev_head_of, layout_rng,
+                                &stats.reaffiliation_events);
+    prev_head_of = plan.head_of;
+
+    for (std::size_t r = 0; r < cfg.phase_length; ++r) {
+      Graph g = plan.stable;
+      add_churn_edges(g, cfg.churn_edges, churn_rng);
+      graphs.push_back(std::move(g));
+      views.push_back(plan.view);
+      member_round_sum += static_cast<double>(plan.view.member_count());
+    }
+  }
+
+  stats.theta = static_cast<std::size_t>(
+      std::count(ever_head.begin(), ever_head.end(), char(1)));
+  const auto total_rounds = static_cast<double>(cfg.phases * cfg.phase_length);
+  stats.mean_members = member_round_sum / total_rounds;
+  stats.mean_reaffiliations =
+      stats.mean_members > 0.0
+          ? static_cast<double>(stats.reaffiliation_events) /
+                stats.mean_members
+          : 0.0;
+
+  Ctvg ctvg(GraphSequence(std::move(graphs)),
+            HierarchySequence(std::move(views)));
+  HINET_ENSURE(ctvg.validate().empty(), "generated CTVG invalid");
+  return HiNetTrace{std::move(ctvg), stats};
+}
+
+}  // namespace hinet

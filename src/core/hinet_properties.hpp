@@ -1,0 +1,77 @@
+// Checkers for the stability properties of Section III.C
+// (Definitions 2–8).
+//
+// The paper's algorithms execute in consecutive *phases* of T rounds, and
+// the stability definitions quantify over "T-interval time" — every
+// interval [0, T-1].  We interpret intervals as the aligned phases
+// [p·T, (p+1)·T) the algorithms actually use (a sliding-window reading of
+// Definition 2 would force the head set to never change at all, which
+// contradicts the paper's discussion of changing head sets).  Each checker
+// scans every complete phase inside [0, rounds).
+//
+// All checkers return a small result struct with the first offending
+// round/cluster, so tests and the bounds-audit bench can print precise
+// diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/ctvg.hpp"
+
+namespace hinet {
+
+struct PropertyResult {
+  bool holds = true;
+  std::string violation;  ///< empty when holds
+
+  explicit operator bool() const { return holds; }
+};
+
+/// Definition 2 (T-interval Stable Cluster Head Set, Ts): within every
+/// phase of T rounds, V_h is constant.
+PropertyResult check_stable_head_set(Ctvg& g, std::size_t rounds,
+                                     std::size_t t);
+
+/// Definition 3 (T-interval Stable Cluster, Tc) for one cluster id k:
+/// within every phase, M_k is constant.  (A cluster that does not exist —
+/// empty membership — in a phase is vacuously stable for that phase.)
+PropertyResult check_stable_cluster(Ctvg& g, std::size_t rounds, std::size_t t,
+                                    ClusterId k);
+
+/// Definition 4 (T-interval Stable Hierarchy, Th): Definition 2 plus
+/// Definition 3 for every cluster — equivalently, the entire HierarchyView
+/// is constant within every phase.
+PropertyResult check_stable_hierarchy(Ctvg& g, std::size_t rounds,
+                                      std::size_t t);
+
+/// Definition 5 (T-interval Cluster Head Connectivity, Td): for every
+/// phase there is a stable subgraph Υ ⊆ every round's graph containing all
+/// heads and connected.  Equivalently: all phase-heads lie in a single
+/// connected component of the edge-wise intersection of the phase's
+/// graphs.  Requires the head set to be stable within the phase (Def. 5
+/// speaks of *the* head set of the interval); use check_stable_head_set
+/// first when in doubt.
+PropertyResult check_head_connectivity(Ctvg& g, std::size_t rounds,
+                                       std::size_t t);
+
+/// The Υ of Definition 5 for the phase starting at `start`: the connected
+/// component of the stable (intersection) subgraph containing the heads.
+/// Returns nullopt when the heads do not share a component.
+std::optional<Graph> stable_head_subgraph(Ctvg& g, Round start, std::size_t t);
+
+/// Definition 6 (L-hop Cluster Head Connectivity) measured in round r:
+/// the bottleneck backbone distance between heads (see
+/// measure_l_hop_connectivity).  -1 when heads are backbone-disconnected.
+int measure_l_hop(Ctvg& g, Round r);
+
+/// Definition 7 (T-interval L-hop Cluster Head Connectivity): Definition 5
+/// holds and, inside every phase's stable subgraph Υ, the L-hop head
+/// connectivity measured over backbone nodes is <= l.
+PropertyResult check_t_interval_l_hop(Ctvg& g, std::size_t rounds,
+                                      std::size_t t, int l);
+
+/// Definition 8 ((T, L)-HiNet): Definition 4 plus Definition 7.
+PropertyResult check_hinet(Ctvg& g, std::size_t rounds, std::size_t t, int l);
+
+}  // namespace hinet

@@ -1,0 +1,38 @@
+// CTVG trace serialization.
+//
+// A small line-oriented text format so traces can be archived, diffed, and
+// replayed across machines (the simulator is deterministic, but a stored
+// trace also decouples experiments from generator versions):
+//
+//   hinet-trace v1
+//   nodes <n> rounds <r>
+//   round <i>
+//   edges <u>-<v> <u>-<v> ...        (one line, may be empty)
+//   roles <h|g|m per node, concatenated>
+//   clusters <id|-> ...              (- = unaffiliated)
+//   ... (next round)
+//
+// parse_ctvg validates structure as it reads and throws
+// std::invalid_argument with a line number on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/ctvg.hpp"
+
+namespace hinet {
+
+/// Writes the trace in the format above.
+void serialize_ctvg(Ctvg& trace, std::ostream& os);
+std::string serialize_ctvg(Ctvg& trace);
+
+/// Parses a trace; throws std::invalid_argument on malformed input.
+Ctvg parse_ctvg(std::istream& is);
+Ctvg parse_ctvg(const std::string& text);
+
+/// Convenience: file round-trip.  Throws std::runtime_error on I/O errors.
+void save_ctvg(Ctvg& trace, const std::string& path);
+Ctvg load_ctvg(const std::string& path);
+
+}  // namespace hinet

@@ -1,0 +1,79 @@
+#include "graph/adversary.hpp"
+
+#include "graph/generators.hpp"
+
+namespace hinet {
+
+namespace {
+
+void add_churn(Graph& g, std::size_t churn_edges, Rng& rng) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return;
+  for (std::size_t e = 0; e < churn_edges; ++e) {
+    const auto a = static_cast<NodeId>(rng.below(n));
+    const auto b = static_cast<NodeId>(rng.below(n));
+    if (a != b) g.add_edge(a, b);  // duplicate draws are harmless
+  }
+}
+
+Graph make_backbone(std::size_t nodes, bool path_backbone, Rng& rng) {
+  if (path_backbone) {
+    // Random relabelled path: permute node ids along a line.  A path is
+    // the worst stable subgraph the model allows (diameter n-1), which
+    // makes pipelined dissemination as slow as possible.
+    std::vector<NodeId> order(nodes);
+    for (NodeId i = 0; i < nodes; ++i) order[i] = i;
+    rng.shuffle(order);
+    Graph p(nodes);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      p.add_edge(order[i], order[i + 1]);
+    }
+    return p;
+  }
+  return gen::random_tree(nodes, rng);
+}
+
+GraphSequence generate(const AdversaryConfig& cfg, bool path_backbone) {
+  HINET_REQUIRE(cfg.nodes >= 1, "adversary needs nodes");
+  HINET_REQUIRE(cfg.interval >= 1, "T must be >= 1");
+  HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
+  Rng rng(cfg.seed);
+  Rng backbone_rng = rng.fork();
+  Rng churn_rng = rng.fork();
+
+  // One backbone per aligned window of T rounds, plus one beyond the end.
+  // T-interval connectivity quantifies over *sliding* windows, so a window
+  // straddling two aligned windows must still share a stable connected
+  // spanning subgraph.  We achieve that by giving every round of window w
+  // the edges of both backbone_w and backbone_{w+1}: any sliding window
+  // [i, i+T) touches at most aligned windows w and w+1, and all of its
+  // rounds then contain backbone_{w+1}.
+  const std::size_t windows = (cfg.rounds + cfg.interval - 1) / cfg.interval;
+  std::vector<Graph> backbones;
+  backbones.reserve(windows + 1);
+  for (std::size_t w = 0; w <= windows; ++w) {
+    backbones.push_back(make_backbone(cfg.nodes, path_backbone, backbone_rng));
+  }
+
+  std::vector<Graph> rounds;
+  rounds.reserve(cfg.rounds);
+  for (Round r = 0; r < cfg.rounds; ++r) {
+    const std::size_t w = r / cfg.interval;
+    Graph g = Graph::union_of(backbones[w], backbones[w + 1]);
+    add_churn(g, cfg.churn_edges, churn_rng);
+    rounds.push_back(std::move(g));
+  }
+  return GraphSequence(std::move(rounds));
+}
+
+}  // namespace
+
+GraphSequence make_t_interval_trace(const AdversaryConfig& cfg) {
+  return generate(cfg, /*path_backbone=*/false);
+}
+
+GraphSequence make_t_interval_path_trace(const AdversaryConfig& cfg) {
+  return generate(cfg, /*path_backbone=*/true);
+}
+
+}  // namespace hinet

@@ -1,0 +1,43 @@
+#include "graph/crashes.hpp"
+
+#include <algorithm>
+
+namespace hinet {
+
+GraphSequence apply_crashes(DynamicNetwork& base, std::size_t rounds,
+                            std::span<const CrashEvent> crashes) {
+  HINET_REQUIRE(rounds >= 1, "need at least one round");
+  const std::size_t n = base.node_count();
+  for (const CrashEvent& c : crashes) {
+    HINET_REQUIRE(c.node < n, "crash node out of range");
+  }
+  std::vector<Graph> out;
+  out.reserve(rounds);
+  for (Round r = 0; r < rounds; ++r) {
+    Graph g = base.graph_at(r);
+    for (const CrashEvent& c : crashes) {
+      if (r < c.round) continue;
+      // Copy the neighbour list: remove_edge mutates it during iteration.
+      const auto neigh = g.neighbors(c.node);
+      const std::vector<NodeId> copy(neigh.begin(), neigh.end());
+      for (NodeId u : copy) g.remove_edge(c.node, u);
+    }
+    out.push_back(std::move(g));
+  }
+  return GraphSequence(std::move(out));
+}
+
+std::vector<NodeId> alive_nodes(std::size_t node_count, Round r,
+                                std::span<const CrashEvent> crashes) {
+  std::vector<char> dead(node_count, 0);
+  for (const CrashEvent& c : crashes) {
+    if (c.node < node_count && r >= c.round) dead[c.node] = 1;
+  }
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (!dead[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hinet

@@ -1,0 +1,31 @@
+// Crash-fault injection at the trace level.
+//
+// A crashed node keeps existing (node sets are fixed in the paper's
+// models) but loses all of its links from the crash round onward — it can
+// neither send nor receive.  Injecting crashes into the *topology* keeps
+// every layer above (clustering maintenance, dissemination) oblivious,
+// which is exactly how a real deployment experiences a died node: the
+// neighbours just stop hearing it, and the hierarchy must repair itself.
+#pragma once
+
+#include <span>
+
+#include "graph/dynamic.hpp"
+
+namespace hinet {
+
+struct CrashEvent {
+  NodeId node = 0;
+  Round round = 0;  ///< first round in which the node is gone
+};
+
+/// Returns a copy of the first `rounds` rounds of `base` with every
+/// crashed node's edges removed from its crash round onward.
+GraphSequence apply_crashes(DynamicNetwork& base, std::size_t rounds,
+                            std::span<const CrashEvent> crashes);
+
+/// Nodes still alive at round r under the crash plan.
+std::vector<NodeId> alive_nodes(std::size_t node_count, Round r,
+                                std::span<const CrashEvent> crashes);
+
+}  // namespace hinet

@@ -1,0 +1,26 @@
+#include "graph/dynamic.hpp"
+
+namespace hinet {
+
+GraphSequence::GraphSequence(std::vector<Graph> rounds)
+    : rounds_(std::move(rounds)) {
+  HINET_REQUIRE(!rounds_.empty(), "GraphSequence needs at least one round");
+  n_ = rounds_.front().node_count();
+  for (const Graph& g : rounds_) {
+    HINET_REQUIRE(g.node_count() == n_,
+                  "all rounds must share the same node set");
+  }
+}
+
+const Graph& GraphSequence::graph_at(Round r) {
+  if (r >= rounds_.size()) return rounds_.back();
+  return rounds_[r];
+}
+
+void GraphSequence::push_back(Graph g) {
+  HINET_REQUIRE(g.node_count() == n_,
+                "appended round must share the node set");
+  rounds_.push_back(std::move(g));
+}
+
+}  // namespace hinet

@@ -1,0 +1,69 @@
+// Dynamic network abstraction: a sequence of per-round communication
+// graphs over a fixed node set.
+//
+// This is the edge-centric "evolving graph" view (Ferreira et al.): the
+// lifetime Γ is divided into synchronous rounds and round r communicates
+// over graph_at(r).  Generators either precompute the whole sequence
+// (GraphSequence) or synthesise rounds lazily.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hinet {
+
+/// Round index within the lifetime Γ = {t0, t1, ...}.
+using Round = std::size_t;
+
+/// Read-only view of a dynamic network's topology over time.
+class DynamicNetwork {
+ public:
+  virtual ~DynamicNetwork() = default;
+
+  /// Number of nodes (fixed over the lifetime; the models in the paper do
+  /// not add or remove nodes, only edges).
+  virtual std::size_t node_count() const = 0;
+
+  /// Communication graph in round r.  Implementations must be
+  /// deterministic: repeated calls with the same r return the same graph.
+  virtual const Graph& graph_at(Round r) = 0;
+};
+
+/// A dynamic network backed by an explicit, precomputed list of rounds.
+/// Rounds past the end repeat the final graph, which matches the models'
+/// convention that a trace can be extended arbitrarily (and lets
+/// algorithms run past a generator's nominal horizon).
+class GraphSequence final : public DynamicNetwork {
+ public:
+  explicit GraphSequence(std::vector<Graph> rounds);
+
+  std::size_t node_count() const override { return n_; }
+  const Graph& graph_at(Round r) override;
+
+  std::size_t round_count() const { return rounds_.size(); }
+  const std::vector<Graph>& rounds() const { return rounds_; }
+
+  /// Appends one more round (used by incremental generators and tests).
+  void push_back(Graph g);
+
+ private:
+  std::vector<Graph> rounds_;
+  std::size_t n_;
+};
+
+/// A static network presented through the dynamic interface (every round
+/// is the same graph) — the degenerate case used by sanity tests.
+class StaticNetwork final : public DynamicNetwork {
+ public:
+  explicit StaticNetwork(Graph g) : g_(std::move(g)) {}
+
+  std::size_t node_count() const override { return g_.node_count(); }
+  const Graph& graph_at(Round) override { return g_; }
+
+ private:
+  Graph g_;
+};
+
+}  // namespace hinet

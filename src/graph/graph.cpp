@@ -1,0 +1,222 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+namespace hinet {
+
+Edge make_edge(NodeId a, NodeId b) {
+  HINET_REQUIRE(a != b, "self-loop");
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+Graph::Graph(std::size_t n, const std::vector<Edge>& edges) : adj_(n) {
+  for (const Edge& e : edges) add_edge(e.u, e.v);
+}
+
+void Graph::check_node(NodeId v) const {
+  HINET_REQUIRE(v < adj_.size(), "node id out of range");
+}
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  HINET_REQUIRE(a != b, "self-loop");
+  auto& na = adj_[a];
+  auto it = std::lower_bound(na.begin(), na.end(), b);
+  if (it != na.end() && *it == b) return false;
+  na.insert(it, b);
+  auto& nb = adj_[b];
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  auto& na = adj_[a];
+  auto it = std::lower_bound(na.begin(), na.end(), b);
+  if (it == na.end() || *it != b) return false;
+  na.erase(it);
+  auto& nb = adj_[b];
+  nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& na = adj_[a];
+  return std::binary_search(na.begin(), na.end(), b);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adj_[v];
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+std::vector<int> Graph::distances_from(NodeId source) const {
+  check_node(source);
+  std::vector<int> dist(adj_.size(), -1);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : adj_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int Graph::distance(NodeId a, NodeId b) const {
+  check_node(b);
+  return distances_from(a)[b];
+}
+
+bool Graph::is_connected() const {
+  if (adj_.size() <= 1) return true;
+  const auto dist = distances_from(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+bool Graph::is_connected_subset(std::span<const NodeId> subset) const {
+  if (subset.size() <= 1) return true;
+  std::vector<char> allowed(adj_.size(), 0);
+  for (NodeId v : subset) {
+    check_node(v);
+    allowed[v] = 1;
+  }
+  const auto dist = restricted_distances(*this, subset.front(), allowed);
+  return std::all_of(subset.begin(), subset.end(),
+                     [&](NodeId v) { return dist[v] >= 0; });
+}
+
+std::vector<std::uint32_t> Graph::components() const {
+  std::vector<std::uint32_t> label(adj_.size(),
+                                   std::numeric_limits<std::uint32_t>::max());
+  std::uint32_t next = 0;
+  std::queue<NodeId> q;
+  for (NodeId s = 0; s < adj_.size(); ++s) {
+    if (label[s] != std::numeric_limits<std::uint32_t>::max()) continue;
+    label[s] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (NodeId v : adj_[u]) {
+        if (label[v] == std::numeric_limits<std::uint32_t>::max()) {
+          label[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int Graph::diameter() const {
+  if (adj_.empty()) return 0;
+  int best = 0;
+  for (NodeId s = 0; s < adj_.size(); ++s) {
+    const auto dist = distances_from(s);
+    for (int d : dist) {
+      if (d < 0) return -1;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+Graph Graph::intersection(const Graph& a, const Graph& b) {
+  HINET_REQUIRE(a.node_count() == b.node_count(),
+                "intersection of graphs with different node counts");
+  Graph out(a.node_count());
+  for (NodeId u = 0; u < a.adj_.size(); ++u) {
+    for (NodeId v : a.adj_[u]) {
+      if (u < v && b.has_edge(u, v)) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+Graph Graph::union_of(const Graph& a, const Graph& b) {
+  HINET_REQUIRE(a.node_count() == b.node_count(),
+                "union of graphs with different node counts");
+  Graph out = a;
+  for (NodeId u = 0; u < b.adj_.size(); ++u) {
+    for (NodeId v : b.adj_[u]) {
+      if (u < v) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::contains_subgraph(const Graph& sub) const {
+  HINET_REQUIRE(node_count() == sub.node_count(),
+                "subgraph test over different node counts");
+  for (NodeId u = 0; u < sub.adj_.size(); ++u) {
+    for (NodeId v : sub.adj_[u]) {
+      if (u < v && !has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << node_count() << ", m=" << edge_count() << ")\n";
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    os << "  " << u << ":";
+    for (NodeId v : adj_[u]) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<int> restricted_distances(const Graph& g, NodeId source,
+                                      std::span<const char> allowed) {
+  HINET_REQUIRE(allowed.size() == g.node_count(),
+                "allowed mask size mismatch");
+  std::vector<int> dist(g.node_count(), -1);
+  if (source >= g.node_count() || !allowed[source]) return dist;
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (allowed[v] && dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace hinet

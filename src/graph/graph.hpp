@@ -1,0 +1,118 @@
+// Static undirected graph with the queries the dynamic-network layer needs:
+// BFS distances, connectivity (whole graph and induced subsets), diameter,
+// and per-round set algebra (intersection/union) used by the T-interval
+// connectivity checker.
+//
+// Representation: sorted adjacency vectors.  Graphs here are small (tens to
+// low thousands of nodes) but queried millions of times per experiment, so
+// membership tests are binary searches and traversals reuse scratch buffers
+// where it matters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace hinet {
+
+/// Node identifier; nodes of an n-node graph are exactly 0..n-1.
+using NodeId = std::uint32_t;
+
+/// An undirected edge, stored with u < v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Canonicalises an unordered pair into an Edge (u < v).
+Edge make_edge(NodeId a, NodeId b);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph on n nodes.
+  explicit Graph(std::size_t n);
+
+  /// Creates a graph from an edge list (duplicates are ignored).
+  Graph(std::size_t n, const std::vector<Edge>& edges);
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds an undirected edge; self-loops are rejected.  Returns true when
+  /// the edge was new.
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Removes an edge; returns true when it was present.
+  bool remove_edge(NodeId a, NodeId b);
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  /// Sorted neighbour list of v.
+  std::span<const NodeId> neighbors(NodeId v) const;
+
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  /// All edges with u < v, sorted lexicographically.
+  std::vector<Edge> edges() const;
+
+  /// BFS distances from `source`; unreachable nodes get -1.
+  std::vector<int> distances_from(NodeId source) const;
+
+  /// Hop distance between two nodes, or -1 if disconnected.
+  int distance(NodeId a, NodeId b) const;
+
+  /// True when the graph is connected over all of its nodes.  An empty
+  /// graph and a single-node graph are connected.
+  bool is_connected() const;
+
+  /// True when the subgraph induced by `subset` is connected (edges must
+  /// stay inside the subset).  An empty subset is connected.
+  bool is_connected_subset(std::span<const NodeId> subset) const;
+
+  /// Connected-component label per node (labels are 0-based, assigned in
+  /// node order).
+  std::vector<std::uint32_t> components() const;
+
+  /// Longest shortest path over the whole graph, or -1 if disconnected.
+  int diameter() const;
+
+  /// Edge-wise intersection of two graphs on the same node set.
+  static Graph intersection(const Graph& a, const Graph& b);
+
+  /// Edge-wise union of two graphs on the same node set.
+  static Graph union_of(const Graph& a, const Graph& b);
+
+  /// True when every edge of `sub` is also an edge of *this.
+  bool contains_subgraph(const Graph& sub) const;
+
+  /// Multi-line adjacency dump for examples and debugging.
+  std::string to_string() const;
+
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.adj_ == b.adj_;
+  }
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+/// BFS distances from `source` restricted to the subgraph induced by
+/// `allowed` (a node-indexed membership mask).  Nodes outside the mask or
+/// unreachable get -1.  Used to measure L-hop cluster-head connectivity
+/// along backbone (head/gateway) nodes only.
+std::vector<int> restricted_distances(const Graph& g, NodeId source,
+                                      std::span<const char> allowed);
+
+}  // namespace hinet

@@ -1,0 +1,49 @@
+#include "graph/interval.hpp"
+
+namespace hinet {
+
+Graph stable_subgraph(DynamicNetwork& net, Round start, std::size_t t) {
+  HINET_REQUIRE(t >= 1, "window must span at least one round");
+  Graph acc = net.graph_at(start);
+  for (std::size_t i = 1; i < t; ++i) {
+    acc = Graph::intersection(acc, net.graph_at(start + i));
+    if (acc.edge_count() == 0) break;  // cannot get smaller
+  }
+  return acc;
+}
+
+bool is_one_interval_connected(DynamicNetwork& net, std::size_t rounds) {
+  for (Round r = 0; r < rounds; ++r) {
+    if (!net.graph_at(r).is_connected()) return false;
+  }
+  return true;
+}
+
+bool is_t_interval_connected(DynamicNetwork& net, std::size_t rounds,
+                             std::size_t t) {
+  HINET_REQUIRE(t >= 1, "T must be >= 1");
+  HINET_REQUIRE(t <= rounds, "T larger than the trace");
+  for (Round start = 0; start + t <= rounds; ++start) {
+    if (!stable_subgraph(net, start, t).is_connected()) return false;
+  }
+  return true;
+}
+
+std::size_t max_interval_connectivity(DynamicNetwork& net,
+                                      std::size_t rounds) {
+  if (rounds == 0 || !is_one_interval_connected(net, rounds)) return 0;
+  // T-interval connectivity is monotone downward in T, so binary search.
+  std::size_t lo = 1;       // known connected
+  std::size_t hi = rounds;  // candidate upper bound
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (is_t_interval_connected(net, rounds, mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hinet

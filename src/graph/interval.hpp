@@ -1,0 +1,31 @@
+// T-interval connectivity checking (Kuhn–Lynch–Oshman, STOC 2010).
+//
+// A dynamic graph is T-interval connected when for every window of T
+// consecutive rounds there exists a *stable* connected spanning subgraph —
+// equivalently, the edge-wise intersection of the window's graphs is
+// connected over all nodes.  These checkers validate that generated traces
+// actually provide the guarantee the algorithms' correctness proofs assume.
+#pragma once
+
+#include "graph/dynamic.hpp"
+
+namespace hinet {
+
+/// True when every round's graph in [0, rounds) is connected
+/// (1-interval connectivity).
+bool is_one_interval_connected(DynamicNetwork& net, std::size_t rounds);
+
+/// True when every window [i, i+T) within [0, rounds) has a connected
+/// edge-wise intersection.  T must be >= 1 and <= rounds.
+bool is_t_interval_connected(DynamicNetwork& net, std::size_t rounds,
+                             std::size_t t);
+
+/// Largest T in [1, rounds] for which the trace is T-interval connected,
+/// or 0 when it is not even 1-interval connected.
+std::size_t max_interval_connectivity(DynamicNetwork& net, std::size_t rounds);
+
+/// The stable subgraph (edge-wise intersection) of the window
+/// [start, start+t).
+Graph stable_subgraph(DynamicNetwork& net, Round start, std::size_t t);
+
+}  // namespace hinet

@@ -1,0 +1,44 @@
+#include "graph/markovian.hpp"
+
+namespace hinet {
+
+GraphSequence make_edge_markovian_trace(const MarkovianConfig& cfg) {
+  HINET_REQUIRE(cfg.nodes >= 1, "EMDG needs nodes");
+  HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
+  HINET_REQUIRE(cfg.birth >= 0.0 && cfg.birth <= 1.0, "birth outside [0,1]");
+  HINET_REQUIRE(cfg.death >= 0.0 && cfg.death <= 1.0, "death outside [0,1]");
+  HINET_REQUIRE(cfg.initial >= 0.0 && cfg.initial <= 1.0,
+                "initial density outside [0,1]");
+  Rng rng(cfg.seed);
+
+  std::vector<Graph> rounds;
+  rounds.reserve(cfg.rounds);
+  Graph current(cfg.nodes);
+  for (NodeId i = 0; i < cfg.nodes; ++i) {
+    for (NodeId j = i + 1; j < cfg.nodes; ++j) {
+      if (rng.bernoulli(cfg.initial)) current.add_edge(i, j);
+    }
+  }
+  rounds.push_back(current);
+  for (Round r = 1; r < cfg.rounds; ++r) {
+    Graph next(cfg.nodes);
+    for (NodeId i = 0; i < cfg.nodes; ++i) {
+      for (NodeId j = i + 1; j < cfg.nodes; ++j) {
+        const bool present = current.has_edge(i, j);
+        const bool keep = present ? !rng.bernoulli(cfg.death)
+                                  : rng.bernoulli(cfg.birth);
+        if (keep) next.add_edge(i, j);
+      }
+    }
+    current = std::move(next);
+    rounds.push_back(current);
+  }
+  return GraphSequence(std::move(rounds));
+}
+
+double edge_markovian_stationary_density(double birth, double death) {
+  HINET_REQUIRE(birth + death > 0.0, "degenerate chain");
+  return birth / (birth + death);
+}
+
+}  // namespace hinet

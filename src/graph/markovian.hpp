@@ -1,0 +1,32 @@
+// Edge-Markovian Dynamic Graph (EMDG) generator, after Clementi et al.
+// (PODC 2008): every potential edge evolves as an independent two-state
+// Markov chain.  A missing edge is *born* with probability p per round and
+// an existing edge *dies* with probability q per round.
+//
+// The paper names EMDG as one of the flat dynamics models its hierarchy
+// should eventually extend (Section VI future work); we provide it as a
+// workload for the flooding/gossip baselines and for stress testing.
+#pragma once
+
+#include "graph/dynamic.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+
+struct MarkovianConfig {
+  std::size_t nodes = 0;
+  double birth = 0.05;   ///< P(absent -> present) per round.
+  double death = 0.2;    ///< P(present -> absent) per round.
+  double initial = 0.1;  ///< edge density of round 0.
+  std::size_t rounds = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Pre-generates an EMDG trace of cfg.rounds rounds.
+GraphSequence make_edge_markovian_trace(const MarkovianConfig& cfg);
+
+/// Expected stationary edge density p / (p + q) of the chain; exposed so
+/// experiments can pick (p, q) pairs with a known asymptotic density.
+double edge_markovian_stationary_density(double birth, double death);
+
+}  // namespace hinet

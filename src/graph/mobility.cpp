@@ -1,0 +1,173 @@
+#include "graph/mobility.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace hinet {
+
+namespace {
+
+struct WaypointState {
+  gen::Point2D target;
+  double speed = 0.0;
+  std::size_t pause_left = 0;
+};
+
+double dist(const gen::Point2D& a, const gen::Point2D& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+void reflect_into_unit_square(double& coord, double& step) {
+  if (coord < 0.0) {
+    coord = -coord;
+    step = -step;
+  } else if (coord > 1.0) {
+    coord = 2.0 - coord;
+    step = -step;
+  }
+}
+
+/// Manhattan state: travelling from intersection `from` to adjacent
+/// intersection `to` on a streets x streets grid.
+struct ManhattanState {
+  std::size_t from_x = 0, from_y = 0;
+  std::size_t to_x = 0, to_y = 0;
+  double progress = 0.0;  ///< fraction of the street segment covered
+  double speed = 0.0;     ///< segment fraction per round
+};
+
+gen::Point2D manhattan_position(const ManhattanState& s, std::size_t streets) {
+  const double step = 1.0 / static_cast<double>(streets - 1);
+  const double fx = static_cast<double>(s.from_x) * step;
+  const double fy = static_cast<double>(s.from_y) * step;
+  const double tx = static_cast<double>(s.to_x) * step;
+  const double ty = static_cast<double>(s.to_y) * step;
+  return {fx + (tx - fx) * s.progress, fy + (ty - fy) * s.progress};
+}
+
+void manhattan_pick_next(ManhattanState& s, std::size_t streets, Rng& rng) {
+  s.from_x = s.to_x;
+  s.from_y = s.to_y;
+  // Adjacent intersections on the grid.
+  std::vector<std::pair<std::size_t, std::size_t>> options;
+  if (s.from_x > 0) options.push_back({s.from_x - 1, s.from_y});
+  if (s.from_x + 1 < streets) options.push_back({s.from_x + 1, s.from_y});
+  if (s.from_y > 0) options.push_back({s.from_x, s.from_y - 1});
+  if (s.from_y + 1 < streets) options.push_back({s.from_x, s.from_y + 1});
+  const auto pick = options[static_cast<std::size_t>(rng.below(options.size()))];
+  s.to_x = pick.first;
+  s.to_y = pick.second;
+  s.progress = 0.0;
+}
+
+std::vector<std::vector<gen::Point2D>> simulate_positions(
+    const MobilityConfig& cfg, Rng& rng) {
+  std::vector<std::vector<gen::Point2D>> all;
+  all.reserve(cfg.rounds);
+
+  if (cfg.model == MobilityModel::kManhattan) {
+    HINET_REQUIRE(cfg.streets >= 2, "Manhattan grid needs >= 2 streets");
+    const double segment = 1.0 / static_cast<double>(cfg.streets - 1);
+    std::vector<ManhattanState> st(cfg.nodes);
+    std::vector<gen::Point2D> pos(cfg.nodes);
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      st[i].to_x = static_cast<std::size_t>(rng.below(cfg.streets));
+      st[i].to_y = static_cast<std::size_t>(rng.below(cfg.streets));
+      // speed is expressed in unit-square distance; convert to segment
+      // fraction per round.
+      st[i].speed =
+          rng.uniform_real(cfg.min_speed, cfg.max_speed) / segment;
+      manhattan_pick_next(st[i], cfg.streets, rng);
+      pos[i] = manhattan_position(st[i], cfg.streets);
+    }
+    all.push_back(pos);
+    for (Round r = 1; r < cfg.rounds; ++r) {
+      for (std::size_t i = 0; i < cfg.nodes; ++i) {
+        st[i].progress += st[i].speed;
+        while (st[i].progress >= 1.0) {
+          const double excess = st[i].progress - 1.0;
+          manhattan_pick_next(st[i], cfg.streets, rng);
+          st[i].progress = excess;
+        }
+        pos[i] = manhattan_position(st[i], cfg.streets);
+      }
+      all.push_back(pos);
+    }
+    return all;
+  }
+
+  std::vector<gen::Point2D> pos = gen::random_points(cfg.nodes, rng);
+  all.push_back(pos);
+
+  if (cfg.model == MobilityModel::kRandomWaypoint) {
+    std::vector<WaypointState> st(cfg.nodes);
+    for (auto& s : st) {
+      s.target = {rng.uniform01(), rng.uniform01()};
+      s.speed = rng.uniform_real(cfg.min_speed, cfg.max_speed);
+    }
+    for (Round r = 1; r < cfg.rounds; ++r) {
+      for (std::size_t i = 0; i < cfg.nodes; ++i) {
+        auto& p = pos[i];
+        auto& s = st[i];
+        if (s.pause_left > 0) {
+          --s.pause_left;
+          continue;
+        }
+        const double d = dist(p, s.target);
+        if (d <= s.speed) {
+          p = s.target;
+          s.pause_left = cfg.pause_rounds;
+          s.target = {rng.uniform01(), rng.uniform01()};
+          s.speed = rng.uniform_real(cfg.min_speed, cfg.max_speed);
+        } else {
+          p.x += (s.target.x - p.x) / d * s.speed;
+          p.y += (s.target.y - p.y) / d * s.speed;
+        }
+      }
+      all.push_back(pos);
+    }
+  } else {  // RandomWalk
+    for (Round r = 1; r < cfg.rounds; ++r) {
+      for (std::size_t i = 0; i < cfg.nodes; ++i) {
+        const double step = rng.uniform_real(cfg.min_speed, cfg.max_speed);
+        const double angle = rng.uniform_real(0.0, 2.0 * std::numbers::pi);
+        double dx = step * std::cos(angle);
+        double dy = step * std::sin(angle);
+        pos[i].x += dx;
+        pos[i].y += dy;
+        reflect_into_unit_square(pos[i].x, dx);
+        reflect_into_unit_square(pos[i].y, dy);
+      }
+      all.push_back(pos);
+    }
+  }
+  return all;
+}
+
+GraphSequence induce_graphs(const std::vector<std::vector<gen::Point2D>>& pos,
+                            double radius) {
+  std::vector<Graph> rounds;
+  rounds.reserve(pos.size());
+  for (const auto& p : pos) rounds.push_back(gen::geometric(p, radius));
+  return GraphSequence(std::move(rounds));
+}
+
+}  // namespace
+
+MobilityTrace::MobilityTrace(const MobilityConfig& cfg)
+    : positions_([&] {
+        HINET_REQUIRE(cfg.nodes >= 1, "mobility needs nodes");
+        HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
+        HINET_REQUIRE(cfg.min_speed <= cfg.max_speed, "speed range inverted");
+        Rng rng(cfg.seed);
+        return simulate_positions(cfg, rng);
+      }()),
+      network_(induce_graphs(positions_, cfg.radius)) {}
+
+const std::vector<gen::Point2D>& MobilityTrace::positions_at(Round r) const {
+  if (r >= positions_.size()) return positions_.back();
+  return positions_[r];
+}
+
+}  // namespace hinet

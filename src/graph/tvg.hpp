@@ -1,0 +1,121 @@
+// Time-Varying Graph (TVG) — Casteigts, Flocchini, Quattrociocchi &
+// Santoro's unifying model, which CTVG (Definition 1) extends.
+//
+// G = (V, E, Γ, ρ, ζ):
+//   ρ : E × Γ -> {0,1}   edge presence per round
+//   ζ : E × Γ -> Γ       latency: rounds needed to cross the edge when
+//                         entering it at a given time
+// This module provides the general model with per-edge presence intervals
+// and latency, *journey* computation (time-respecting paths), and the
+// derived temporal metrics the dynamic-network literature uses:
+// reachability, foremost-arrival times, and the temporal diameter.
+// The synchronous round model used by the dissemination algorithms is the
+// special case ζ ≡ 1 with per-round presence; `to_sequence` converts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/dynamic.hpp"
+
+namespace hinet {
+
+/// A maximal interval [start, end) during which an edge is present.
+struct PresenceInterval {
+  Round start = 0;
+  Round end = 0;  ///< exclusive
+
+  bool contains(Round r) const { return r >= start && r < end; }
+  friend bool operator==(const PresenceInterval&,
+                         const PresenceInterval&) = default;
+};
+
+class Tvg {
+ public:
+  /// Latency function type: rounds to cross `e` when entering at time t.
+  using Latency = std::function<std::size_t(const Edge&, Round)>;
+
+  /// Creates a TVG on n nodes with lifetime [0, lifetime) and unit latency.
+  Tvg(std::size_t n, Round lifetime);
+
+  std::size_t node_count() const { return n_; }
+  Round lifetime() const { return lifetime_; }
+
+  /// Declares `e` present during [start, end).  Overlapping intervals for
+  /// the same edge are merged.
+  void add_presence(NodeId a, NodeId b, Round start, Round end);
+
+  /// Replaces the latency function (default: constant 1 round).
+  void set_latency(Latency zeta);
+
+  /// ρ(e, t): presence of the edge at time t.
+  bool present(NodeId a, NodeId b, Round t) const;
+
+  /// ζ(e, t): crossing latency entering the edge at time t.
+  std::size_t latency(NodeId a, NodeId b, Round t) const;
+
+  /// The merged presence intervals of an edge (sorted, disjoint).
+  std::vector<PresenceInterval> presence_of(NodeId a, NodeId b) const;
+
+  /// Snapshot graph at time t (the footprint of ρ(·, t)).
+  Graph snapshot(Round t) const;
+
+  /// Conversion to the synchronous round model used by the simulator:
+  /// one Graph per round of the lifetime.  Requires unit latency.
+  GraphSequence to_sequence() const;
+
+  /// Builds a TVG from a round sequence (unit latency, one presence
+  /// interval per maximal run of rounds containing the edge).
+  static Tvg from_sequence(GraphSequence& seq, std::size_t rounds);
+
+  /// Foremost-arrival times from `source` starting at time `start`: the
+  /// earliest time each node can be reached by a journey (a sequence of
+  /// edges traversed at non-decreasing times, each present for the whole
+  /// crossing).  Unreachable nodes get kUnreachable.
+  static constexpr Round kUnreachable = std::numeric_limits<Round>::max();
+  std::vector<Round> foremost_arrival(NodeId source, Round start) const;
+
+  /// True when a journey source -> target departing at or after `start`
+  /// exists within the lifetime.
+  bool reachable(NodeId source, NodeId target, Round start) const;
+
+  /// Temporal eccentricity of `source` from time `start`: the latest
+  /// foremost-arrival over all nodes, or nullopt if some node is
+  /// unreachable.
+  std::optional<Round> temporal_eccentricity(NodeId source, Round start) const;
+
+  /// Temporal diameter from time `start`: max temporal eccentricity over
+  /// sources, or nullopt if any pair is unreachable.
+  std::optional<Round> temporal_diameter(Round start) const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::size_t n_;
+  Round lifetime_;
+  std::map<Edge, std::vector<PresenceInterval>> presence_;
+  Latency zeta_;
+};
+
+/// Kuhn & Oshman's *dynamic diameter* of a round sequence: the smallest D
+/// such that, from every start round within [0, rounds - D] and every
+/// source, a "causal influence" flood started at the source reaches every
+/// node within D rounds (one hop per round over whichever edges are
+/// present).  Returns nullopt when no such D exists within the horizon.
+std::optional<std::size_t> dynamic_diameter(DynamicNetwork& net,
+                                            std::size_t rounds);
+
+/// Causal-influence arrival times: round (relative to `start`) at which
+/// each node is first causally influenced by `source` when flooding one
+/// hop per round from `start`.  kNeverReached for nodes not reached within
+/// `horizon` rounds.
+inline constexpr std::size_t kNeverReached =
+    std::numeric_limits<std::size_t>::max();
+std::vector<std::size_t> causal_arrival(DynamicNetwork& net, NodeId source,
+                                        Round start, std::size_t horizon);
+
+}  // namespace hinet

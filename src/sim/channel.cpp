@@ -1,0 +1,35 @@
+#include "sim/channel.hpp"
+
+namespace hinet {
+
+void ChannelModel::begin_round(Round, const Graph&,
+                               const std::vector<Packet>&) {}
+
+LossyChannel::LossyChannel(double loss, std::uint64_t seed)
+    : loss_(loss), rng_(seed) {
+  HINET_REQUIRE(loss >= 0.0 && loss <= 1.0, "loss outside [0,1]");
+}
+
+bool LossyChannel::deliver(Round, const Packet&, NodeId) {
+  return !rng_.bernoulli(loss_);
+}
+
+CollisionChannel::CollisionChannel(std::size_t capture) : capture_(capture) {
+  HINET_REQUIRE(capture >= 1, "capture threshold must be >= 1");
+}
+
+void CollisionChannel::begin_round(Round, const Graph& g,
+                                   const std::vector<Packet>& packets) {
+  transmitting_neighbors_.assign(g.node_count(), 0);
+  for (const Packet& pkt : packets) {
+    for (NodeId v : g.neighbors(pkt.src)) {
+      ++transmitting_neighbors_[v];
+    }
+  }
+}
+
+bool CollisionChannel::deliver(Round, const Packet&, NodeId receiver) {
+  return transmitting_neighbors_[receiver] <= capture_;
+}
+
+}  // namespace hinet

@@ -1,0 +1,75 @@
+// Channel models: failure injection for the wireless medium.
+//
+// The paper's model assumes perfect local broadcast; real MANET/WSN
+// deployments (its motivating platforms) drop packets.  A ChannelModel
+// decides per (packet, receiver) whether delivery succeeds, letting the
+// robustness benches measure how the correctness guarantees degrade when
+// the model's assumptions are violated.
+//
+//   PerfectChannel   — the paper's model (default; zero overhead path).
+//   LossyChannel     — i.i.d. Bernoulli loss per (packet, receiver).
+//   CollisionChannel — a receiver whose transmitting-neighbour count
+//                      exceeds a capture threshold hears nothing that
+//                      round (slotted-ALOHA-style interference).
+//
+// All models are deterministic per seed.
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic.hpp"
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Called once at the start of each round with that round's graph and
+  /// the full transmission list (for interference models).
+  virtual void begin_round(Round r, const Graph& g,
+                           const std::vector<Packet>& packets);
+
+  /// True when `receiver` successfully hears `pkt` this round.  Called
+  /// only for (packet, receiver) pairs that are graph neighbours.
+  virtual bool deliver(Round r, const Packet& pkt, NodeId receiver) = 0;
+};
+
+/// The paper's idealised medium: everything is heard.
+class PerfectChannel final : public ChannelModel {
+ public:
+  bool deliver(Round, const Packet&, NodeId) override { return true; }
+};
+
+/// Independent per-(packet, receiver) loss with probability `loss`.
+class LossyChannel final : public ChannelModel {
+ public:
+  LossyChannel(double loss, std::uint64_t seed);
+
+  bool deliver(Round r, const Packet& pkt, NodeId receiver) override;
+
+  double loss() const { return loss_; }
+
+ private:
+  double loss_;
+  Rng rng_;
+};
+
+/// Capture-threshold interference: if more than `capture` of a receiver's
+/// neighbours transmit in the same round, the receiver hears nothing.
+class CollisionChannel final : public ChannelModel {
+ public:
+  explicit CollisionChannel(std::size_t capture);
+
+  void begin_round(Round r, const Graph& g,
+                   const std::vector<Packet>& packets) override;
+  bool deliver(Round r, const Packet& pkt, NodeId receiver) override;
+
+ private:
+  std::size_t capture_;
+  std::vector<std::size_t> transmitting_neighbors_;
+};
+
+}  // namespace hinet

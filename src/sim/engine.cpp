@@ -1,0 +1,143 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hinet {
+
+double total_energy(const SimMetrics& m, const EnergyModel& e) {
+  double energy = e.idle_per_round * static_cast<double>(m.rounds_executed) *
+                  static_cast<double>(m.per_node_tx_tokens.size());
+  for (std::size_t v = 0; v < m.per_node_tx_tokens.size(); ++v) {
+    energy += e.tx_per_token * static_cast<double>(m.per_node_tx_tokens[v]);
+    energy += e.rx_per_token * static_cast<double>(m.per_node_rx_tokens[v]);
+  }
+  return energy;
+}
+
+double max_node_energy(const SimMetrics& m, const EnergyModel& e) {
+  double worst = 0.0;
+  for (std::size_t v = 0; v < m.per_node_tx_tokens.size(); ++v) {
+    const double node =
+        e.idle_per_round * static_cast<double>(m.rounds_executed) +
+        e.tx_per_token * static_cast<double>(m.per_node_tx_tokens[v]) +
+        e.rx_per_token * static_cast<double>(m.per_node_rx_tokens[v]);
+    worst = std::max(worst, node);
+  }
+  return worst;
+}
+
+std::size_t total_wire_bytes(const SimMetrics& m, const WireModel& w) {
+  return m.packets_sent * w.header_bytes + m.tokens_sent * w.token_bytes;
+}
+
+std::string SimMetrics::to_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds_executed << " packets=" << packets_sent
+     << " tokens_sent=" << tokens_sent << " completed="
+     << (all_delivered ? std::to_string(rounds_to_completion) : "never");
+  return os.str();
+}
+
+Engine::Engine(DynamicNetwork& net, HierarchyProvider* hierarchy,
+               std::vector<ProcessPtr> processes)
+    : net_(net),
+      hierarchy_(hierarchy),
+      flat_view_(net.node_count()),
+      processes_(std::move(processes)) {
+  HINET_REQUIRE(processes_.size() == net_.node_count(),
+                "one process per node required");
+  if (hierarchy_ != nullptr) {
+    HINET_REQUIRE(hierarchy_->node_count() == net_.node_count(),
+                  "hierarchy and topology node counts differ");
+  }
+  for (const auto& p : processes_) {
+    HINET_REQUIRE(p != nullptr, "null process");
+    HINET_REQUIRE(p->knowledge().universe() ==
+                      processes_.front()->knowledge().universe(),
+                  "all processes must share the token universe");
+  }
+}
+
+bool Engine::all_complete() const {
+  return complete_count() == processes_.size();
+}
+
+std::size_t Engine::complete_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (p->knowledge().full()) ++n;
+  }
+  return n;
+}
+
+SimMetrics Engine::run(const EngineConfig& cfg) {
+  HINET_REQUIRE(!ran_, "Engine::run is single-shot");
+  ran_ = true;
+  const std::size_t n = net_.node_count();
+
+  SimMetrics metrics;
+  metrics.per_node_tx_tokens.assign(n, 0);
+  metrics.per_node_rx_tokens.assign(n, 0);
+  std::vector<Packet> packets;
+  std::vector<Packet> inbox;
+
+  for (Round r = 0; r < cfg.max_rounds; ++r) {
+    const Graph& g = net_.graph_at(r);
+    const HierarchyView& h =
+        hierarchy_ != nullptr ? hierarchy_->hierarchy_at(r) : flat_view_;
+    HINET_REQUIRE(g.node_count() == n, "round graph node count changed");
+
+    // Send step: node-id order for determinism.
+    packets.clear();
+    std::size_t round_tokens = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      RoundContext ctx{r, v, &g, &h};
+      if (processes_[v]->finished(ctx)) continue;
+      if (auto pkt = processes_[v]->transmit(ctx)) {
+        HINET_REQUIRE(pkt->src == v, "packet src must be the sender");
+        round_tokens += pkt->cost();
+        metrics.per_node_tx_tokens[v] += pkt->cost();
+        packets.push_back(std::move(*pkt));
+      }
+    }
+    metrics.packets_sent += packets.size();
+    metrics.tokens_sent += round_tokens;
+    metrics.tokens_sent_per_round.push_back(round_tokens);
+
+    if (channel_ != nullptr) channel_->begin_round(r, g, packets);
+
+    // Receive step: each node hears packets from its G_r neighbours that
+    // survive the channel.  Packets are already sorted by sender id (send
+    // order).
+    for (NodeId v = 0; v < n; ++v) {
+      inbox.clear();
+      for (const Packet& pkt : packets) {
+        if (pkt.src == v || !g.has_edge(pkt.src, v)) continue;
+        if (channel_ != nullptr && !channel_->deliver(r, pkt, v)) continue;
+        metrics.per_node_rx_tokens[v] += pkt.cost();
+        inbox.push_back(pkt);
+      }
+      RoundContext ctx{r, v, &g, &h};
+      processes_[v]->receive(ctx, inbox);
+    }
+
+    if (observer_) observer_(r, packets, g, h);
+
+    ++metrics.rounds_executed;
+    const std::size_t complete = complete_count();
+    metrics.complete_nodes_per_round.push_back(complete);
+    if (complete == n && metrics.rounds_to_completion == kNever) {
+      metrics.rounds_to_completion = metrics.rounds_executed;
+      if (cfg.stop_when_complete) break;
+    }
+  }
+
+  metrics.all_delivered = all_complete();
+  if (metrics.all_delivered && metrics.rounds_to_completion == kNever) {
+    metrics.rounds_to_completion = metrics.rounds_executed;
+  }
+  return metrics;
+}
+
+}  // namespace hinet

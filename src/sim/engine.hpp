@@ -1,0 +1,76 @@
+// Synchronous round engine.
+//
+// Executes one Process per node over a DynamicNetwork (and optional
+// HierarchyProvider) for up to max_rounds rounds:
+//
+//   for each round r:
+//     1. collect transmit() from every unfinished node      (send step)
+//     2. deliver to each node all packets whose sender is a
+//        G_r-neighbour                                      (receive step)
+//     3. account costs; check global completion
+//
+// The engine is strictly deterministic: processes are stepped in node-id
+// order and packet inboxes are ordered by sender id, so a (trace, seed)
+// pair reproduces byte-identical metrics.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+#include "graph/dynamic.hpp"
+#include "sim/channel.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+
+namespace hinet {
+
+struct EngineConfig {
+  /// Hard cap on executed rounds.
+  std::size_t max_rounds = 0;
+
+  /// Stop as soon as every node knows every token (after completing the
+  /// round).  When false the engine always runs max_rounds rounds, which
+  /// measures the algorithm's *scheduled* cost rather than its oracle
+  /// stopping time.
+  bool stop_when_complete = true;
+};
+
+/// Observer invoked after each round with that round's packets; used by
+/// trace recording and the walkthrough bench.  Return value ignored.
+using RoundObserver =
+    std::function<void(Round, const std::vector<Packet>&, const Graph&,
+                       const HierarchyView&)>;
+
+class Engine {
+ public:
+  /// `hierarchy` may be null for flat (non-clustered) algorithms; the
+  /// engine then presents an all-unaffiliated view.
+  Engine(DynamicNetwork& net, HierarchyProvider* hierarchy,
+         std::vector<ProcessPtr> processes);
+
+  /// Runs the simulation; callable once per Engine instance.
+  SimMetrics run(const EngineConfig& cfg);
+
+  void set_observer(RoundObserver obs) { observer_ = std::move(obs); }
+
+  /// Installs a failure-injecting channel; the engine does not own it.
+  /// Default: perfect delivery (the paper's model).
+  void set_channel(ChannelModel* channel) { channel_ = channel; }
+
+  const Process& process(NodeId v) const { return *processes_[v]; }
+
+ private:
+  bool all_complete() const;
+  std::size_t complete_count() const;
+
+  DynamicNetwork& net_;
+  HierarchyProvider* hierarchy_;
+  HierarchyView flat_view_;
+  std::vector<ProcessPtr> processes_;
+  RoundObserver observer_;
+  ChannelModel* channel_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace hinet

@@ -1,0 +1,68 @@
+// Metrics collected by the engine, matching the paper's two cost measures:
+// time cost (rounds) and communication cost (total number of tokens sent).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hinet {
+
+inline constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+struct SimMetrics {
+  std::size_t rounds_executed = 0;
+
+  /// Total transmissions (packets).
+  std::size_t packets_sent = 0;
+
+  /// The paper's communication cost: Σ tokens over all packets sent.
+  std::size_t tokens_sent = 0;
+
+  /// First round index r such that after round r every node knows all k
+  /// tokens; kNever if dissemination did not complete.  Time cost in the
+  /// paper's sense is rounds_to_completion (number of rounds consumed).
+  std::size_t rounds_to_completion = kNever;
+
+  bool all_delivered = false;
+
+  /// Per-round series, for the sweep figures.
+  std::vector<std::size_t> tokens_sent_per_round;
+  std::vector<std::size_t> complete_nodes_per_round;
+
+  /// Per-node accounting, for energy models: token-equivalents transmitted
+  /// and successfully received by each node.
+  std::vector<std::size_t> per_node_tx_tokens;
+  std::vector<std::size_t> per_node_rx_tokens;
+
+  std::string to_string() const;
+};
+
+/// Simple linear radio energy model (WSN-style): energy per transmitted
+/// and per received token-equivalent, plus per-round idle draw.
+struct EnergyModel {
+  double tx_per_token = 1.0;
+  double rx_per_token = 0.5;
+  double idle_per_round = 0.0;
+};
+
+/// Total network energy for a run under the model.
+double total_energy(const SimMetrics& m, const EnergyModel& e);
+
+/// Energy of the single most-loaded node (the bottleneck that dies first
+/// in a sensor network).
+double max_node_energy(const SimMetrics& m, const EnergyModel& e);
+
+/// Wire-size model: turns the token/packet counts into bytes, making the
+/// per-packet header overhead visible (the paper's cost metric is tokens;
+/// this quantifies what that abstraction hides).
+struct WireModel {
+  std::size_t token_bytes = 64;  ///< payload bytes per token
+  std::size_t header_bytes = 16; ///< fixed per-packet header
+};
+
+/// Total bytes on the wire for a run: packets·header + tokens·payload.
+std::size_t total_wire_bytes(const SimMetrics& m, const WireModel& w);
+
+}  // namespace hinet

@@ -1,0 +1,39 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace hinet {
+
+RoundObserver TraceRecorder::observer() {
+  return [this](Round r, const std::vector<Packet>& packets, const Graph&,
+                const HierarchyView&) {
+    RecordedRound rec;
+    rec.round = r;
+    rec.packets = packets;
+    rounds_.push_back(std::move(rec));
+  };
+}
+
+std::string TraceRecorder::render() const {
+  std::ostringstream os;
+  for (const auto& rec : rounds_) {
+    os << "round " << rec.round << ":";
+    if (rec.packets.empty()) {
+      os << " (silent)\n";
+      continue;
+    }
+    os << '\n';
+    for (const Packet& p : rec.packets) {
+      os << "  " << p.src;
+      if (p.dest == kBroadcastDest) {
+        os << " -> *";
+      } else {
+        os << " -> " << p.dest;
+      }
+      os << "  " << p.tokens.to_string() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hinet

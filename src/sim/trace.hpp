@@ -1,0 +1,35 @@
+// Human-readable trace recording: captures every packet of every round so
+// examples and the Fig. 3 walkthrough bench can print the dissemination
+// step by step, and tests can assert on exact message-level behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hinet {
+
+struct RecordedRound {
+  Round round = 0;
+  std::vector<Packet> packets;
+  std::size_t complete_nodes = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Returns an observer bound to this recorder; pass to
+  /// Engine::set_observer before run().
+  RoundObserver observer();
+
+  const std::vector<RecordedRound>& rounds() const { return rounds_; }
+
+  /// Pretty-prints round-by-round packet activity.  `names` may be empty,
+  /// in which case node ids are printed.
+  std::string render() const;
+
+ private:
+  std::vector<RecordedRound> rounds_;
+};
+
+}  // namespace hinet

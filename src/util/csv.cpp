@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace hinet {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : file_(path), to_file_(true), width_(header.size()) {
+  if (!file_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  HINET_REQUIRE(width_ > 0, "CSV needs at least one column");
+  emit(header);
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& header)
+    : width_(header.size()) {
+  HINET_REQUIRE(width_ > 0, "CSV needs at least one column");
+  emit(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += escape(cells[i]);
+  }
+  line += '\n';
+  buffer_ += line;
+  if (to_file_) file_ << line;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  HINET_REQUIRE(cells.size() == width_, "CSV row width mismatch");
+  emit(cells);
+  ++rows_;
+}
+
+}  // namespace hinet

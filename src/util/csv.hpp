@@ -1,0 +1,59 @@
+// Minimal CSV writer for experiment outputs.
+//
+// Sweep benches emit one CSV per figure so results can be re-plotted
+// outside the repo; values are RFC-4180 quoted when needed.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hinet {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row immediately.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// In-memory variant (used by tests and by benches that print to stdout).
+  explicit CsvWriter(const std::vector<std::string>& header);
+
+  /// Appends a row; must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for mixed types.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    write_row({to_cell(cells)...});
+  }
+
+  /// Contents accumulated so far (only meaningful for in-memory writers,
+  /// but kept up to date in both modes for testability).
+  const std::string& content() const { return buffer_; }
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  static std::string escape(const std::string& cell);
+  void emit(const std::vector<std::string>& cells);
+
+  std::ofstream file_;
+  bool to_file_ = false;
+  std::string buffer_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hinet

@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <stdexcept>
+
+namespace hinet {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+std::ostream* g_sink = &std::cerr;
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Logging::threshold() { return g_threshold; }
+
+void Logging::set_threshold(LogLevel level) { g_threshold = level; }
+
+std::ostream* Logging::set_sink(std::ostream* sink) {
+  std::ostream* prev = g_sink;
+  g_sink = sink == nullptr ? &std::cerr : sink;
+  return prev;
+}
+
+void Logging::write(LogLevel level, const std::string& tag,
+                    const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_threshold)) return;
+  (*g_sink) << '[' << log_level_name(level) << "] [" << tag << "] " << message
+            << '\n';
+}
+
+}  // namespace hinet

@@ -1,0 +1,64 @@
+// Leveled logging with a process-global threshold.
+//
+// The simulator is deterministic, so logs double as replay transcripts:
+// everything is written to a single ostream (stderr by default) with a
+// module tag, and tests can redirect the sink to capture output.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hinet {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Converts "trace|debug|info|warn|error|off" to a level; throws on typo.
+LogLevel parse_log_level(const std::string& name);
+
+const char* log_level_name(LogLevel level);
+
+class Logging {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// Redirects the sink (tests only); returns the previous sink.
+  static std::ostream* set_sink(std::ostream* sink);
+
+  static void write(LogLevel level, const std::string& tag,
+                    const std::string& message);
+};
+
+/// Builds one log line with stream syntax and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  ~LogLine() { Logging::write(level_, tag_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+
+}  // namespace hinet
+
+#define HINET_LOG(level, tag)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::hinet::Logging::threshold())) \
+    ;                                                            \
+  else                                                           \
+    ::hinet::LogLine(level, tag)
+
+#define HINET_DEBUG(tag) HINET_LOG(::hinet::LogLevel::kDebug, tag)
+#define HINET_INFO(tag) HINET_LOG(::hinet::LogLevel::kInfo, tag)
+#define HINET_WARN(tag) HINET_LOG(::hinet::LogLevel::kWarn, tag)
+#define HINET_ERROR(tag) HINET_LOG(::hinet::LogLevel::kError, tag)

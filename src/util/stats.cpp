@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace hinet {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double Accumulator::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  HINET_REQUIRE(!sorted.empty(), "percentile of empty sample");
+  HINET_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  Accumulator acc;
+  for (double x : samples) acc.add(x);
+  s.n = samples.size();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile_sorted(samples, 0.5);
+  s.p95 = percentile_sorted(samples, 0.95);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << n << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << p50 << " p95=" << p95 << " max=" << max;
+  return os.str();
+}
+
+}  // namespace hinet

@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hinet {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance
+/// plus min/max, without storing samples.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// One-line summary of a sample batch, for table rows.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes a Summary from a batch (copies + sorts internally).
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample vector, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace hinet

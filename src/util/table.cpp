@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace hinet {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HINET_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HINET_REQUIRE(cells.size() == headers_.size(),
+                "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::cell_to_string(double v) {
+  std::ostringstream os;
+  if (std::fabs(v - std::round(v)) < 1e-9 && std::fabs(v) < 1e15) {
+    os << static_cast<long long>(std::llround(v));
+  } else {
+    os.precision(3);
+    os << std::fixed << v;
+  }
+  return os.str();
+}
+
+std::string TextTable::cell_to_string(long long v) {
+  return std::to_string(v);
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+}  // namespace hinet

@@ -1,0 +1,58 @@
+// ASCII table rendering for bench output.
+//
+// The benchmark binaries print rows in the same shape as the paper's
+// Tables 2 and 3; TextTable handles column alignment so those outputs are
+// directly comparable side-by-side with the paper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hinet {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  /// Renders with a header separator and column padding.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return cell_to_string(v);
+    }
+  }
+  static std::string cell_to_string(double v);
+  static std::string cell_to_string(long long v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell_to_string(T v) {
+    return cell_to_string(static_cast<long long>(v));
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace hinet

@@ -1,0 +1,197 @@
+#include "util/token_set.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace hinet {
+
+TokenSet::TokenSet(std::size_t universe)
+    : universe_(universe), words_((universe + kBits - 1) / kBits, 0) {}
+
+TokenSet::TokenSet(std::size_t universe,
+                   std::initializer_list<TokenId> tokens)
+    : TokenSet(universe) {
+  for (TokenId t : tokens) insert(t);
+}
+
+void TokenSet::check_token(TokenId t) const {
+  HINET_REQUIRE(t < universe_, "token id outside universe");
+}
+
+std::size_t TokenSet::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool TokenSet::contains(TokenId t) const {
+  check_token(t);
+  return (words_[t / kBits] >> (t % kBits)) & 1ULL;
+}
+
+bool TokenSet::insert(TokenId t) {
+  check_token(t);
+  std::uint64_t& w = words_[t / kBits];
+  const std::uint64_t mask = 1ULL << (t % kBits);
+  const bool added = (w & mask) == 0;
+  w |= mask;
+  return added;
+}
+
+bool TokenSet::erase(TokenId t) {
+  check_token(t);
+  std::uint64_t& w = words_[t / kBits];
+  const std::uint64_t mask = 1ULL << (t % kBits);
+  const bool present = (w & mask) != 0;
+  w &= ~mask;
+  return present;
+}
+
+void TokenSet::clear() {
+  for (std::uint64_t& w : words_) w = 0;
+}
+
+std::size_t TokenSet::unite(const TokenSet& other) {
+  HINET_REQUIRE(universe_ == other.universe_, "universe mismatch in unite");
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t fresh = other.words_[i] & ~words_[i];
+    added += static_cast<std::size_t>(std::popcount(fresh));
+    words_[i] |= other.words_[i];
+  }
+  return added;
+}
+
+void TokenSet::subtract(const TokenSet& other) {
+  HINET_REQUIRE(universe_ == other.universe_, "universe mismatch in subtract");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void TokenSet::intersect(const TokenSet& other) {
+  HINET_REQUIRE(universe_ == other.universe_,
+                "universe mismatch in intersect");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+bool TokenSet::subset_of(const TokenSet& other) const {
+  HINET_REQUIRE(universe_ == other.universe_, "universe mismatch in subset_of");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+std::optional<TokenId> TokenSet::min_diff(const TokenSet& other) const {
+  HINET_REQUIRE(universe_ == other.universe_, "universe mismatch in min_diff");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t d = words_[i] & ~other.words_[i];
+    if (d != 0) {
+      return static_cast<TokenId>(i * kBits +
+                                  static_cast<std::size_t>(std::countr_zero(d)));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TokenId> TokenSet::max_diff(const TokenSet& other) const {
+  HINET_REQUIRE(universe_ == other.universe_, "universe mismatch in max_diff");
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    const std::uint64_t d = words_[i] & ~other.words_[i];
+    if (d != 0) {
+      return static_cast<TokenId>(
+          i * kBits + (kBits - 1 -
+                       static_cast<std::size_t>(std::countl_zero(d))));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TokenId> TokenSet::max_diff(const TokenSet& a,
+                                          const TokenSet& b) const {
+  HINET_REQUIRE(universe_ == a.universe_ && universe_ == b.universe_,
+                "universe mismatch in max_diff");
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    const std::uint64_t d = words_[i] & ~(a.words_[i] | b.words_[i]);
+    if (d != 0) {
+      return static_cast<TokenId>(
+          i * kBits + (kBits - 1 -
+                       static_cast<std::size_t>(std::countl_zero(d))));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TokenId> TokenSet::min_element() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<TokenId>(
+          i * kBits + static_cast<std::size_t>(std::countr_zero(words_[i])));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TokenId> TokenSet::max_element() const {
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != 0) {
+      return static_cast<TokenId>(
+          i * kBits +
+          (kBits - 1 - static_cast<std::size_t>(std::countl_zero(words_[i]))));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TokenId> TokenSet::to_vector() const {
+  std::vector<TokenId> out;
+  out.reserve(count());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i];
+    while (w != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(w));
+      out.push_back(static_cast<TokenId>(i * kBits + bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::string TokenSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (TokenId t : to_vector()) {
+    if (!first) os << ',';
+    os << t;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+bool operator==(const TokenSet& a, const TokenSet& b) {
+  return a.universe_ == b.universe_ && a.words_ == b.words_;
+}
+
+TokenSet TokenSet::set_union(const TokenSet& a, const TokenSet& b) {
+  HINET_REQUIRE(a.universe_ == b.universe_, "universe mismatch in set_union");
+  TokenSet out = a;
+  out.unite(b);
+  return out;
+}
+
+TokenSet TokenSet::from_words(std::size_t universe,
+                              std::vector<std::uint64_t> words) {
+  TokenSet out(universe);
+  HINET_REQUIRE(words.size() == out.words_.size(),
+                "word count does not match the universe");
+  out.words_ = std::move(words);
+  // Mask bits beyond the universe so count()/full() stay truthful.
+  const std::size_t tail = universe % kBits;
+  if (tail != 0 && !out.words_.empty()) {
+    out.words_.back() &= (1ULL << tail) - 1;
+  }
+  return out;
+}
+
+}  // namespace hinet

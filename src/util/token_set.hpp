@@ -1,0 +1,118 @@
+// TokenSet: a fixed-universe dynamic bitset specialised for the k-token
+// dissemination problem.
+//
+// The paper's algorithms manipulate three per-node sets (TA, TS, TR) over a
+// universe of k comparable token ids.  All hot-path operations the
+// pseudocode needs — membership, union, set difference, and min/max of a
+// difference — are O(k/64) word operations here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace hinet {
+
+/// Identifier of a token.  Tokens are drawn from the universe [0, k).
+using TokenId = std::uint32_t;
+
+class TokenSet {
+ public:
+  /// Creates an empty set over a universe of `universe` token ids.
+  explicit TokenSet(std::size_t universe = 0);
+
+  /// Creates a set containing exactly the given tokens.
+  TokenSet(std::size_t universe, std::initializer_list<TokenId> tokens);
+
+  /// The universe size k this set was created with.
+  std::size_t universe() const { return universe_; }
+
+  /// Number of tokens currently in the set.
+  std::size_t count() const;
+
+  bool empty() const { return count() == 0; }
+
+  /// True when the set contains every token of the universe.
+  bool full() const { return count() == universe_; }
+
+  bool contains(TokenId t) const;
+
+  /// Inserts a token; returns true if it was newly added.
+  bool insert(TokenId t);
+
+  /// Removes a token; returns true if it was present.
+  bool erase(TokenId t);
+
+  /// Removes all tokens (the pseudocode's "TS <- Ø").
+  void clear();
+
+  /// In-place union: *this <- *this ∪ other.  Returns the number of tokens
+  /// newly added, which the metrics layer uses to detect progress.
+  std::size_t unite(const TokenSet& other);
+
+  /// In-place difference: *this <- *this \ other.
+  void subtract(const TokenSet& other);
+
+  /// In-place intersection.
+  void intersect(const TokenSet& other);
+
+  /// True when every token of *this is in `other`.
+  bool subset_of(const TokenSet& other) const;
+
+  /// Smallest token in *this \ other, or nullopt when the difference is
+  /// empty.  Implements Algorithm 1's head rule "t <- min(TA \ TS)".
+  std::optional<TokenId> min_diff(const TokenSet& other) const;
+
+  /// Largest token in *this \ other.  Implements the member rule
+  /// "t <- max(TA \ (TS ∪ TR))" (the union is passed pre-computed or via
+  /// the two-argument overload below).
+  std::optional<TokenId> max_diff(const TokenSet& other) const;
+
+  /// Largest token in *this \ (a ∪ b) without materialising the union.
+  std::optional<TokenId> max_diff(const TokenSet& a, const TokenSet& b) const;
+
+  /// Smallest token present, or nullopt if empty.
+  std::optional<TokenId> min_element() const;
+
+  /// Largest token present, or nullopt if empty.
+  std::optional<TokenId> max_element() const;
+
+  /// All tokens in increasing order (for reporting / tests; not hot path).
+  std::vector<TokenId> to_vector() const;
+
+  /// Compact textual form, e.g. "{0,3,7}" (for logs and test failures).
+  std::string to_string() const;
+
+  friend bool operator==(const TokenSet& a, const TokenSet& b);
+  friend bool operator!=(const TokenSet& a, const TokenSet& b) {
+    return !(a == b);
+  }
+
+  /// Union as a value (used when the pseudocode unions TS ∪ TR).
+  static TokenSet set_union(const TokenSet& a, const TokenSet& b);
+
+  /// Raw 64-bit words of the membership bitmap (low bit of word 0 is
+  /// token 0).  Network coding reinterprets a TokenSet as a GF(2)
+  /// coefficient vector through this view.
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Builds a set directly from a word vector; bits beyond the universe
+  /// are masked off.  `words.size()` must match the universe's word count.
+  static TokenSet from_words(std::size_t universe,
+                             std::vector<std::uint64_t> words);
+
+ private:
+  static constexpr std::size_t kBits = 64;
+
+  std::size_t word_count() const { return words_.size(); }
+  void check_token(TokenId t) const;
+
+  std::size_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hinet

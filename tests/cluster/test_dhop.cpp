@@ -1,0 +1,124 @@
+// d-hop (multi-hop) clustering — the Section VI future-work extension.
+#include "cluster/dhop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(GreedyDhop, RadiusOneMatchesOneHopCapture) {
+  const Graph g = gen::path(5);
+  const HierarchyView h = greedy_dhop_clustering(g, 1);
+  // Same capture pattern as lowest-ID clustering: heads 0, 2, 4.
+  EXPECT_TRUE(h.is_head(0));
+  EXPECT_TRUE(h.is_head(2));
+  EXPECT_TRUE(h.is_head(4));
+  EXPECT_EQ(h.validate(g, 1), "");
+}
+
+TEST(GreedyDhop, LargerRadiusMeansFewerHeads) {
+  const Graph g = gen::path(9);
+  const HierarchyView h1 = greedy_dhop_clustering(g, 1);
+  const HierarchyView h2 = greedy_dhop_clustering(g, 2);
+  const HierarchyView h4 = greedy_dhop_clustering(g, 4);
+  EXPECT_GT(h1.head_count(), h2.head_count());
+  EXPECT_GT(h2.head_count(), h4.head_count());
+  // Radius 4 covers a 9-path from node 0 plus one more head.
+  EXPECT_EQ(h4.head_count(), 2u);
+}
+
+TEST(GreedyDhop, MembersWithinDHops) {
+  Rng rng(3);
+  const Graph g = gen::random_connected(40, 30, rng);
+  for (std::size_t d : {1u, 2u, 3u}) {
+    const HierarchyView h = greedy_dhop_clustering(g, d);
+    EXPECT_EQ(h.validate(g, d), "") << "d=" << d;
+  }
+}
+
+TEST(GreedyDhop, RejectsZeroRadius) {
+  EXPECT_THROW(greedy_dhop_clustering(Graph(3), 0), PreconditionError);
+}
+
+TEST(MaxMinDhop, SinglePathStructure) {
+  const Graph g = gen::path(7);
+  const HierarchyView h = maxmin_dhop_clustering(g, 2);
+  EXPECT_EQ(h.validate(g, 2), "");
+  EXPECT_GE(h.head_count(), 1u);
+  // Every non-head is affiliated.
+  for (NodeId v = 0; v < 7; ++v) {
+    if (!h.is_head(v)) EXPECT_NE(h.cluster_of(v), kNoCluster);
+  }
+}
+
+TEST(MaxMinDhop, CompleteGraphSingleCluster) {
+  const Graph g = gen::complete(8);
+  const HierarchyView h = maxmin_dhop_clustering(g, 1);
+  EXPECT_EQ(h.head_count(), 1u);
+  // Max-Min elects the largest id on a clique (floodmax floods id 7,
+  // floodmin returns it to 7 itself).
+  EXPECT_TRUE(h.is_head(7));
+}
+
+TEST(MaxMinDhop, IsolatedNodesHeadThemselves) {
+  Graph g(4, {{0, 1}});
+  const HierarchyView h = maxmin_dhop_clustering(g, 2);
+  EXPECT_TRUE(h.is_head(2));
+  EXPECT_TRUE(h.is_head(3));
+  EXPECT_EQ(h.validate(g, 2), "");
+}
+
+TEST(MeasureDhop, ReportsRadiusAndSizes) {
+  const Graph g = gen::star(7);
+  const HierarchyView h = greedy_dhop_clustering(g, 1);
+  const DhopStats s = measure_dhop(h, g);
+  EXPECT_EQ(s.heads, 1u);
+  EXPECT_EQ(s.max_radius, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_cluster_size, 7.0);
+  EXPECT_EQ(s.gateways, 0u);
+}
+
+// Property sweep: both schemes produce valid d-hop clusterings whose
+// measured radius respects d, on random connected graphs.
+struct DhopCase {
+  std::size_t n, extra, d;
+  std::uint64_t seed;
+};
+
+class DhopSweep : public ::testing::TestWithParam<DhopCase> {};
+
+TEST_P(DhopSweep, BothSchemesValidAndWithinRadius) {
+  const DhopCase c = GetParam();
+  Rng rng(c.seed);
+  const Graph g = gen::random_connected(c.n, c.extra, rng);
+  for (const HierarchyView& h : {greedy_dhop_clustering(g, c.d),
+                                 maxmin_dhop_clustering(g, c.d)}) {
+    EXPECT_EQ(h.validate(g, c.d), "");
+    const DhopStats s = measure_dhop(h, g);
+    EXPECT_LE(s.max_radius, c.d);
+    EXPECT_GE(s.heads, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DhopSweep,
+    ::testing::Values(DhopCase{15, 10, 1, 1}, DhopCase{15, 10, 2, 2},
+                      DhopCase{30, 25, 2, 3}, DhopCase{30, 25, 3, 4},
+                      DhopCase{50, 60, 2, 5}, DhopCase{50, 60, 4, 6},
+                      DhopCase{24, 0, 3, 7}, DhopCase{40, 100, 2, 8}));
+
+// Fewer heads than 1-hop clustering on the same graph (the point of
+// multi-hop clusters: cheaper hierarchy).
+TEST(DhopComparison, DeeperClustersShrinkTheBackbone) {
+  Rng rng(11);
+  const Graph g = gen::random_connected(60, 40, rng);
+  const std::size_t h1 = greedy_dhop_clustering(g, 1).head_count();
+  const std::size_t h3 = greedy_dhop_clustering(g, 3).head_count();
+  EXPECT_LT(h3, h1);
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,57 @@
+// Graphviz export.
+#include "cluster/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(Dot, PlainGraphListsAllNodesAndEdges) {
+  const Graph g = gen::path(3);
+  const std::string dot = to_dot(g, "P3");
+  EXPECT_NE(dot.find("graph P3 {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"0\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n2 [label=\"2\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  EXPECT_EQ(dot.find("n0 -- n2"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, HierarchyShapesAndBackbone) {
+  const Graph g = gen::path(5);
+  const HierarchyView h = lowest_id_clustering(g);
+  // Heads 0, 2, 4; gateways 1, 3.
+  const std::string dot = to_dot(g, h);
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  // All edges here join heads/gateways: every edge is bold.
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+}
+
+TEST(Dot, UnaffiliatedNodesAreWhite) {
+  Graph g(2, {{0, 1}});
+  HierarchyView h(2);
+  h.set_head(0);
+  const std::string dot = to_dot(g, h);
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+}
+
+TEST(Dot, MismatchedSizesThrow) {
+  EXPECT_THROW(to_dot(Graph(3), HierarchyView(4)), PreconditionError);
+}
+
+TEST(Dot, ColorsAssignedPerCluster) {
+  const Graph g = gen::path(5);
+  const HierarchyView h = lowest_id_clustering(g);
+  const std::string dot = to_dot(g, h);
+  // Three clusters -> at least colors 1 and 2 appear.
+  EXPECT_NE(dot.find("fillcolor=1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,132 @@
+#include "cluster/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(HierarchyView, DefaultIsUnaffiliatedMembers) {
+  HierarchyView h(4);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(h.role(v), NodeRole::kMember);
+    EXPECT_EQ(h.cluster_of(v), kNoCluster);
+  }
+  EXPECT_TRUE(h.heads().empty());
+  EXPECT_EQ(h.member_count(), 0u);  // unaffiliated members don't count
+}
+
+TEST(HierarchyView, HeadIsItsOwnCluster) {
+  HierarchyView h(4);
+  h.set_head(2);
+  EXPECT_TRUE(h.is_head(2));
+  EXPECT_EQ(h.cluster_of(2), 2u);
+  EXPECT_EQ(h.heads(), std::vector<NodeId>{2});
+}
+
+TEST(HierarchyView, MemberAffiliation) {
+  HierarchyView h(4);
+  h.set_head(0);
+  h.set_member(1, 0);
+  h.set_member(2, 0, /*gateway=*/true);
+  EXPECT_EQ(h.role(1), NodeRole::kMember);
+  EXPECT_EQ(h.role(2), NodeRole::kGateway);
+  EXPECT_EQ(h.cluster_of(1), 0u);
+  EXPECT_EQ(h.cluster_of(2), 0u);
+  // members_of includes head, member and gateway.
+  EXPECT_EQ(h.members_of(0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(h.member_count(), 1u);
+  EXPECT_EQ(h.gateway_count(), 1u);
+  EXPECT_EQ(h.head_count(), 1u);
+}
+
+TEST(HierarchyView, AffiliationToNonHeadThrows) {
+  HierarchyView h(4);
+  EXPECT_THROW(h.set_member(1, 0), PreconditionError);
+  h.set_head(0);
+  EXPECT_THROW(h.set_member(0, 0), PreconditionError);  // self-membership
+}
+
+TEST(HierarchyView, MarkGatewayPreservesAffiliation) {
+  HierarchyView h(3);
+  h.set_head(0);
+  h.set_member(1, 0);
+  h.mark_gateway(1);
+  EXPECT_EQ(h.role(1), NodeRole::kGateway);
+  EXPECT_EQ(h.cluster_of(1), 0u);
+  EXPECT_THROW(h.mark_gateway(0), PreconditionError);  // heads can't demote
+}
+
+TEST(HierarchyView, UnaffiliatedGateway) {
+  HierarchyView h(3);
+  h.set_unaffiliated_gateway(1);
+  EXPECT_EQ(h.role(1), NodeRole::kGateway);
+  EXPECT_EQ(h.cluster_of(1), kNoCluster);
+}
+
+TEST(HierarchyView, BackboneIsHeadsPlusGateways) {
+  HierarchyView h(5);
+  h.set_head(0);
+  h.set_member(1, 0);
+  h.set_member(2, 0, true);
+  h.set_unaffiliated_gateway(3);
+  EXPECT_EQ(h.backbone(), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(HierarchyView, ValidateAcceptsOneHopClusters) {
+  const Graph g = gen::star(4);  // 0 hub
+  HierarchyView h(4);
+  h.set_head(0);
+  for (NodeId v = 1; v < 4; ++v) h.set_member(v, 0);
+  EXPECT_EQ(h.validate(g), "");
+}
+
+TEST(HierarchyView, ValidateRejectsNonNeighbourMember) {
+  const Graph g = gen::path(3);  // 0-1-2
+  HierarchyView h(3);
+  h.set_head(0);
+  h.set_member(2, 0);  // 2 is not adjacent to 0
+  EXPECT_NE(h.validate(g), "");
+}
+
+TEST(HierarchyView, ValidateRejectsNodeCountMismatch) {
+  HierarchyView h(3);
+  EXPECT_NE(h.validate(Graph(4)), "");
+}
+
+TEST(HierarchyView, ValidateAllowsUnaffiliated) {
+  const Graph g = gen::path(3);
+  HierarchyView h(3);
+  h.set_head(1);
+  EXPECT_EQ(h.validate(g), "");  // nodes 0, 2 unaffiliated — allowed
+}
+
+TEST(HierarchyView, RoleNames) {
+  EXPECT_STREQ(node_role_name(NodeRole::kHead), "head");
+  EXPECT_STREQ(node_role_name(NodeRole::kGateway), "gateway");
+  EXPECT_STREQ(node_role_name(NodeRole::kMember), "member");
+}
+
+TEST(HierarchySequence, ClampsPastEnd) {
+  HierarchyView a(3);
+  a.set_head(0);
+  HierarchyView b(3);
+  b.set_head(1);
+  HierarchySequence seq({a, b});
+  EXPECT_EQ(seq.round_count(), 2u);
+  EXPECT_TRUE(seq.hierarchy_at(0).is_head(0));
+  EXPECT_TRUE(seq.hierarchy_at(1).is_head(1));
+  EXPECT_TRUE(seq.hierarchy_at(50).is_head(1));
+}
+
+TEST(HierarchySequence, RejectsEmptyAndMismatch) {
+  EXPECT_THROW(HierarchySequence({}), PreconditionError);
+  HierarchySequence seq({HierarchyView(3)});
+  EXPECT_THROW(seq.push_back(HierarchyView(4)), PreconditionError);
+  seq.push_back(HierarchyView(3));
+  EXPECT_EQ(seq.round_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,176 @@
+#include "cluster/maintenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/metrics.hpp"
+#include "graph/adversary.hpp"
+#include "graph/generators.hpp"
+#include "graph/markovian.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(Maintenance, StableGraphKeepsHierarchy) {
+  const Graph g = gen::star(6);
+  ClusterMaintainer maint(g);
+  const HierarchyView initial = maint.view();
+  for (int i = 0; i < 5; ++i) {
+    maint.step(g);
+  }
+  EXPECT_TRUE(maint.view() == initial);
+  EXPECT_EQ(maint.stats().reaffiliations, 0u);
+  EXPECT_EQ(maint.stats().head_promotions, 0u);
+  EXPECT_EQ(maint.stats().head_abdications, 0u);
+  EXPECT_EQ(maint.stats().rounds, 5u);
+}
+
+TEST(Maintenance, OrphanedMemberReaffiliates) {
+  // 1 is a member of head 0; when the 0-1 edge breaks and 1 touches head
+  // 2, it must re-affiliate.
+  Graph g0(3, {{0, 1}, {0, 2}});
+  ClusterMaintainer maint(g0);  // lowest-id: 0 heads, 1 and 2 members
+  ASSERT_EQ(maint.view().cluster_of(1), 0u);
+
+  Graph g1(3, {{0, 2}, {1, 2}});  // 1 lost its head link
+  // 2 is not a head, so 1 cannot join it; 1 must promote itself.
+  maint.step(g1);
+  EXPECT_TRUE(maint.view().is_head(1));
+  EXPECT_EQ(maint.stats().head_promotions, 1u);
+}
+
+TEST(Maintenance, OrphanJoinsAnotherHeadWhenPossible) {
+  // Two stars: head 0 with member 2; node 1 is a head (isolated initially).
+  Graph g0(3, {{0, 2}});
+  ClusterMaintainer maint(g0);
+  ASSERT_TRUE(maint.view().is_head(0));
+  ASSERT_TRUE(maint.view().is_head(1));  // isolated -> own head
+  ASSERT_EQ(maint.view().cluster_of(2), 0u);
+
+  // 2 loses its link to 0 but gains one to head 1.
+  Graph g1(3, {{1, 2}});
+  maint.step(g1);
+  EXPECT_EQ(maint.view().cluster_of(2), 1u);
+  EXPECT_EQ(maint.stats().reaffiliations, 1u);
+  EXPECT_EQ(maint.stats().per_node_reaffiliations[2], 1u);
+}
+
+TEST(Maintenance, AdjacentHeadsMerge) {
+  // Heads 0 and 1 in separate components; an edge appears between them:
+  // the larger id abdicates and joins the smaller.
+  Graph g0(2);
+  ClusterMaintainer maint(g0);
+  ASSERT_TRUE(maint.view().is_head(0));
+  ASSERT_TRUE(maint.view().is_head(1));
+
+  Graph g1(2, {{0, 1}});
+  maint.step(g1);
+  EXPECT_TRUE(maint.view().is_head(0));
+  EXPECT_FALSE(maint.view().is_head(1));
+  EXPECT_EQ(maint.view().cluster_of(1), 0u);
+  EXPECT_EQ(maint.stats().head_abdications, 1u);
+}
+
+TEST(Maintenance, LeastClusterChangeKeepsAffiliationWhenLinkSurvives) {
+  // Member 3 adjacent to heads 0 and 2; initially captured by 0.  When a
+  // lower-id head stays reachable, 3 must NOT churn to head 2.
+  Graph g0(4, {{0, 3}, {0, 1}, {2, 3}});
+  // lowest-id: 0 heads {1,3}; 2 heads {} ... verify then evolve.
+  ClusterMaintainer maint(g0);
+  ASSERT_EQ(maint.view().cluster_of(3), 0u);
+  // Keep both of 3's links alive; node 1 loses its head link and churns,
+  // but 3 must stay with head 0 (least cluster change).
+  Graph g1(4, {{0, 3}, {2, 3}, {1, 2}});
+  maint.step(g1);
+  EXPECT_EQ(maint.view().cluster_of(3), 0u);
+  EXPECT_EQ(maint.stats().per_node_reaffiliations[3], 0u);
+}
+
+TEST(Maintenance, EveryRoundViewIsValid) {
+  AdversaryConfig cfg;
+  cfg.nodes = 25;
+  cfg.interval = 3;
+  cfg.rounds = 30;
+  cfg.churn_edges = 6;
+  cfg.seed = 11;
+  GraphSequence net = make_t_interval_trace(cfg);
+  ClusterMaintainer maint(net.graph_at(0));
+  for (Round r = 1; r < 30; ++r) {
+    const HierarchyView& v = maint.step(net.graph_at(r));
+    EXPECT_EQ(v.validate(net.graph_at(r)), "") << "round " << r;
+  }
+}
+
+TEST(Maintenance, NodeCountChangeRejected) {
+  ClusterMaintainer maint(Graph(3));
+  EXPECT_THROW(maint.step(Graph(4)), PreconditionError);
+}
+
+TEST(MaintainOver, ProducesFullHierarchySequence) {
+  AdversaryConfig cfg;
+  cfg.nodes = 15;
+  cfg.interval = 2;
+  cfg.rounds = 12;
+  cfg.churn_edges = 4;
+  cfg.seed = 3;
+  GraphSequence net = make_t_interval_trace(cfg);
+  MaintainedHierarchy mh = maintain_over(net, 12);
+  EXPECT_EQ(mh.hierarchy.round_count(), 12u);
+  EXPECT_EQ(mh.stats.rounds, 11u);  // 11 steps after the initial clustering
+  for (Round r = 0; r < 12; ++r) {
+    EXPECT_EQ(mh.hierarchy.hierarchy_at(r).validate(net.graph_at(r)), "");
+  }
+}
+
+TEST(MaintainOver, CustomInitialClustering) {
+  GraphSequence net({gen::star(5)});
+  MaintainedHierarchy mh = maintain_over(net, 1, wcds_clustering);
+  EXPECT_TRUE(mh.hierarchy.hierarchy_at(0).is_head(0));
+}
+
+TEST(MaintenanceStats, MeanReaffiliationsAveragesOverNodes) {
+  MaintenanceStats s;
+  s.per_node_reaffiliations = {0, 2, 4, 0};
+  EXPECT_DOUBLE_EQ(s.mean_reaffiliations(), 1.5);
+  MaintenanceStats empty;
+  EXPECT_DOUBLE_EQ(empty.mean_reaffiliations(), 0.0);
+}
+
+TEST(HierarchyMetrics, MeasuresThetaAndMeans) {
+  // Two rounds with different head sets.
+  HierarchyView a(4);
+  a.set_head(0);
+  a.set_member(1, 0);
+  a.set_member(2, 0);
+  a.set_member(3, 0);
+  HierarchyView b(4);
+  b.set_head(0);
+  b.set_head(1);
+  b.set_member(2, 1);
+  b.set_member(3, 0);
+  HierarchySequence seq({a, b});
+  const HierarchyMetrics m = measure_hierarchy(seq, 2);
+  EXPECT_EQ(m.max_heads, 2u);
+  EXPECT_DOUBLE_EQ(m.mean_heads, 1.5);
+  EXPECT_DOUBLE_EQ(m.mean_members, 2.5);  // 3 then 2
+  EXPECT_EQ(m.head_set_changes, 1u);
+  EXPECT_EQ(m.node_count, 4u);
+}
+
+TEST(MaintenanceIntegration, ChurnIsBoundedOnMarkovianTrace) {
+  MarkovianConfig cfg;
+  cfg.nodes = 30;
+  cfg.birth = 0.02;
+  cfg.death = 0.05;
+  cfg.initial = 0.3;
+  cfg.rounds = 40;
+  cfg.seed = 8;
+  GraphSequence net = make_edge_markovian_trace(cfg);
+  MaintainedHierarchy mh = maintain_over(net, 40);
+  // Re-affiliations happen but are far fewer than nodes*rounds — the LCC
+  // policy keeps the hierarchy quiet.
+  EXPECT_LT(mh.stats.reaffiliations, 30u * 40u / 4u);
+}
+
+}  // namespace
+}  // namespace hinet

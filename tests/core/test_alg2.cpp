@@ -1,0 +1,271 @@
+// Algorithm 2 conformance and Theorems 2-4 on generated (1, L)-HiNet
+// traces.
+#include "core/alg2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/assignment.hpp"
+#include "core/hinet_generator.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace hinet {
+namespace {
+
+Alg2Params params(std::size_t k, std::size_t rounds) {
+  Alg2Params p;
+  p.k = k;
+  p.rounds = rounds;
+  return p;
+}
+
+/// CTVG whose hierarchy re-affiliates member 2 from head 0 to head 3 at a
+/// given round; topology is a 4-path with both member links present.
+Ctvg reaffiliation_world(std::size_t rounds, std::size_t flip_round) {
+  std::vector<Graph> graphs;
+  std::vector<HierarchyView> views;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Graph g(4, {{0, 1}, {0, 2}, {2, 3}, {1, 3}});
+    HierarchyView h(4);
+    h.set_head(0);
+    h.set_head(3);
+    h.set_member(1, 0, true);
+    h.set_member(2, r < flip_round ? 0 : 3, true);
+    graphs.push_back(std::move(g));
+    views.push_back(std::move(h));
+  }
+  return Ctvg(GraphSequence(std::move(graphs)),
+              HierarchySequence(std::move(views)));
+}
+
+TEST(Alg2, HeadBroadcastsFullSetEveryRound) {
+  Ctvg world = reaffiliation_world(3, 99);
+  std::vector<TokenSet> init(4, TokenSet(2));
+  init[0] = TokenSet(2, {0, 1});
+  Engine engine(world.topology(), &world.hierarchy(),
+                make_alg2_processes(init, params(2, 3)));
+  TraceRecorder rec;
+  engine.set_observer(rec.observer());
+  engine.run({.max_rounds = 3, .stop_when_complete = false});
+  for (Round r = 0; r < 3; ++r) {
+    bool head0_sent_full = false;
+    for (const Packet& p : rec.rounds()[r].packets) {
+      if (p.src == 0 && p.dest == kBroadcastDest &&
+          p.tokens == TokenSet(2, {0, 1})) {
+        head0_sent_full = true;
+      }
+    }
+    EXPECT_TRUE(head0_sent_full) << "round " << r;
+  }
+}
+
+TEST(Alg2, MemberSendsOnceThenOnlyOnReaffiliation) {
+  // Make node 2 a plain member (not gateway) so it is quiet between sends.
+  std::vector<Graph> graphs;
+  std::vector<HierarchyView> views;
+  const std::size_t rounds = 6, flip = 3;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Graph g(4, {{0, 1}, {0, 2}, {2, 3}, {1, 3}});
+    HierarchyView h(4);
+    h.set_head(0);
+    h.set_head(3);
+    h.set_member(1, 0, true);
+    h.set_member(2, r < flip ? 0 : 3);  // plain member, flips head
+    graphs.push_back(std::move(g));
+    views.push_back(std::move(h));
+  }
+  Ctvg world(GraphSequence(std::move(graphs)),
+             HierarchySequence(std::move(views)));
+
+  std::vector<TokenSet> init(4, TokenSet(3));
+  init[2] = TokenSet(3, {1});
+  auto procs = make_alg2_processes(init, params(3, rounds));
+  auto* member = static_cast<Alg2Process*>(procs[2].get());
+  Engine engine(world.topology(), &world.hierarchy(), std::move(procs));
+  TraceRecorder rec;
+  engine.set_observer(rec.observer());
+  engine.run({.max_rounds = rounds, .stop_when_complete = false});
+
+  std::vector<Round> send_rounds;
+  for (const auto& rr : rec.rounds()) {
+    for (const Packet& p : rr.packets) {
+      if (p.src == 2) send_rounds.push_back(rr.round);
+    }
+  }
+  // Exactly two uploads: round 0 (to head 0) and round `flip` (to head 3).
+  ASSERT_EQ(send_rounds.size(), 2u);
+  EXPECT_EQ(send_rounds[0], 0u);
+  EXPECT_EQ(send_rounds[1], flip);
+  EXPECT_EQ(member->member_uploads(), 2u);
+}
+
+TEST(Alg2, MemberUploadCarriesWholeTa) {
+  // Star: head 0, plain members 1 and 2.
+  std::vector<Graph> graphs(2, Graph(3, {{0, 1}, {0, 2}}));
+  HierarchyView h(3);
+  h.set_head(0);
+  h.set_member(1, 0);
+  h.set_member(2, 0);
+  Ctvg world(GraphSequence(std::move(graphs)), HierarchySequence({h, h}));
+  std::vector<TokenSet> init(3, TokenSet(3));
+  init[2] = TokenSet(3, {0, 2});
+  Engine engine(world.topology(), &world.hierarchy(),
+                make_alg2_processes(init, params(3, 2)));
+  TraceRecorder rec;
+  engine.set_observer(rec.observer());
+  engine.run({.max_rounds = 1, .stop_when_complete = false});
+  const Packet* upload = nullptr;
+  for (const Packet& p : rec.rounds()[0].packets) {
+    if (p.src == 2) upload = &p;
+  }
+  ASSERT_NE(upload, nullptr);
+  EXPECT_EQ(upload->tokens, TokenSet(3, {0, 2}));  // entire TA at once
+  EXPECT_EQ(upload->dest, 0u);                     // addressed to the head
+}
+
+TEST(Alg2, EveryoneUnionsEverythingHeard) {
+  // Fig. 5 members union from *neighbors*, not only their head.
+  Ctvg world = reaffiliation_world(2, 99);
+  std::vector<TokenSet> init(4, TokenSet(2));
+  init[3] = TokenSet(2, {1});  // head 3 holds a token
+  auto procs = make_alg2_processes(init, params(2, 2));
+  auto* member1 = procs[1].get();
+  Engine engine(world.topology(), &world.hierarchy(), std::move(procs));
+  engine.run({.max_rounds = 1, .stop_when_complete = false});
+  // Node 1 (member of head 0) is adjacent to head 3 and must have heard
+  // head 3's broadcast even though 3 is not its cluster head.
+  EXPECT_TRUE(member1->knowledge().contains(1));
+}
+
+TEST(Alg2, RejectsBadParameters) {
+  EXPECT_THROW(Alg2Process(0, TokenSet(2), params(3, 4)), PreconditionError);
+  EXPECT_THROW(Alg2Process(0, TokenSet(2), params(2, 0)), PreconditionError);
+}
+
+// ---------------- Theorem 2: n-1 rounds on (1, L)-HiNet traces -----------
+
+struct Alg2Case {
+  std::size_t nodes, heads, k;
+  int l;
+  double reaff;
+  std::uint64_t seed;
+};
+
+class Theorem2Sweep : public ::testing::TestWithParam<Alg2Case> {};
+
+TEST_P(Theorem2Sweep, DeliversWithinNMinusOneRounds) {
+  const Alg2Case c = GetParam();
+  HiNetConfig gen;
+  gen.nodes = c.nodes;
+  gen.heads = c.heads;
+  gen.phase_length = 1;  // (1, L)-HiNet: hierarchy may change every round
+  gen.phases = c.nodes - 1;
+  gen.hop_l = c.l;
+  gen.reaffiliation_prob = c.reaff;
+  gen.churn_edges = 3;
+  gen.seed = c.seed;
+  HiNetTrace trace = make_hinet_trace(gen);
+
+  Rng rng(c.seed ^ 0xfeedULL);
+  const auto init =
+      assign_tokens(c.nodes, c.k, AssignmentMode::kDistinctRandom, rng);
+  Engine engine(trace.ctvg.topology(), &trace.ctvg.hierarchy(),
+                make_alg2_processes(init, params(c.k, c.nodes - 1)));
+  const SimMetrics m =
+      engine.run({.max_rounds = c.nodes - 1, .stop_when_complete = false});
+  EXPECT_TRUE(m.all_delivered)
+      << "nodes=" << c.nodes << " heads=" << c.heads << " k=" << c.k
+      << " L=" << c.l << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem2Sweep,
+    ::testing::Values(Alg2Case{20, 3, 4, 2, 0.2, 1},
+                      Alg2Case{20, 3, 4, 2, 0.2, 2},
+                      Alg2Case{30, 5, 8, 2, 0.3, 3},
+                      Alg2Case{30, 5, 8, 2, 0.3, 4},
+                      Alg2Case{40, 6, 5, 3, 0.1, 5},
+                      Alg2Case{50, 8, 10, 2, 0.4, 6},
+                      Alg2Case{25, 4, 3, 1, 0.5, 7},
+                      Alg2Case{60, 10, 12, 2, 0.2, 8}));
+
+// Theorem 4: with an L-interval stable hierarchy, Algorithm 2 terminates
+// within θ·L + 1 rounds (at least one new head learns each token per L
+// rounds).  Generated traces with phase_length = L provide exactly that
+// stability.
+struct Theorem4Case {
+  std::size_t nodes, heads, k;
+  int l;
+  std::uint64_t seed;
+};
+
+class Theorem4Sweep : public ::testing::TestWithParam<Theorem4Case> {};
+
+TEST_P(Theorem4Sweep, DeliversWithinThetaLPlusOneRounds) {
+  const Theorem4Case c = GetParam();
+  const std::size_t bound =
+      c.heads * static_cast<std::size_t>(c.l) + 1;  // θ·L + 1
+  HiNetConfig gen;
+  gen.nodes = c.nodes;
+  gen.heads = c.heads;
+  gen.phase_length = static_cast<std::size_t>(c.l);  // L-interval stability
+  gen.phases = (bound + gen.phase_length - 1) / gen.phase_length;
+  gen.hop_l = c.l;
+  gen.reaffiliation_prob = 0.3;
+  gen.churn_edges = 2;
+  gen.seed = c.seed;
+  HiNetTrace trace = make_hinet_trace(gen);
+
+  Rng rng(c.seed ^ 0x44444ULL);
+  const auto init =
+      assign_tokens(c.nodes, c.k, AssignmentMode::kDistinctRandom, rng);
+  Engine engine(trace.ctvg.topology(), &trace.ctvg.hierarchy(),
+                make_alg2_processes(init, params(c.k, bound)));
+  const SimMetrics m =
+      engine.run({.max_rounds = bound, .stop_when_complete = false});
+  EXPECT_TRUE(m.all_delivered)
+      << "nodes=" << c.nodes << " heads=" << c.heads << " L=" << c.l
+      << " seed=" << c.seed;
+  EXPECT_LE(m.rounds_to_completion, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem4Sweep,
+    ::testing::Values(Theorem4Case{24, 4, 4, 2, 1},
+                      Theorem4Case{24, 4, 4, 2, 2},
+                      Theorem4Case{36, 6, 6, 2, 3},
+                      Theorem4Case{36, 6, 6, 3, 4},
+                      Theorem4Case{48, 8, 5, 2, 5},
+                      Theorem4Case{30, 5, 8, 3, 6}));
+
+// Theorem 3: with (αL)-interval head connectivity the same algorithm
+// terminates in ⌈θ/α⌉ + 1 rounds... of phases of length αL.  We test the
+// operative claim on stable traces: completion is much faster than n-1
+// when the backbone persists.
+TEST(Theorem3, StableBackboneCompletesFasterThanNMinusOne) {
+  HiNetConfig gen;
+  gen.nodes = 60;
+  gen.heads = 6;
+  gen.phase_length = 60;  // backbone static for the whole run
+  gen.phases = 1;
+  gen.hop_l = 2;
+  gen.reaffiliation_prob = 0.0;
+  gen.churn_edges = 0;
+  gen.seed = 11;
+  HiNetTrace trace = make_hinet_trace(gen);
+
+  Rng rng(99);
+  const auto init =
+      assign_tokens(60, 6, AssignmentMode::kDistinctRandom, rng);
+  Engine engine(trace.ctvg.topology(), &trace.ctvg.hierarchy(),
+                make_alg2_processes(init, params(6, 59)));
+  const SimMetrics m =
+      engine.run({.max_rounds = 59, .stop_when_complete = true});
+  ASSERT_TRUE(m.all_delivered);
+  // Diameter of the backbone chain is ~(heads-1)*L + member hops; far less
+  // than n-1 = 59.
+  EXPECT_LT(m.rounds_to_completion, 20u);
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,133 @@
+// Counting and leader election via k-token dissemination.
+#include "core/applications.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hinet_generator.hpp"
+#include "graph/adversary.hpp"
+#include "graph/generators.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(CountAndElect, KloFloodOnStaticGraph) {
+  StaticNetwork net(gen::ring(9));
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kKloFlood;
+  const ComputationResult r = count_and_elect(net, nullptr, cfg);
+  EXPECT_TRUE(r.agreement_and_exact());
+  for (const NodeAnswer& a : r.answers) {
+    EXPECT_EQ(a.count, 9u);
+    EXPECT_EQ(a.leader, std::optional<NodeId>(8));
+  }
+}
+
+TEST(CountAndElect, KloFloodOnOneIntervalTrace) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    AdversaryConfig adv;
+    adv.nodes = 18;
+    adv.interval = 1;
+    adv.rounds = 17;
+    adv.churn_edges = 2;
+    adv.seed = seed;
+    GraphSequence net = make_t_interval_trace(adv);
+    ComputationConfig cfg;
+    cfg.kind = DisseminationKind::kKloFlood;
+    const ComputationResult r = count_and_elect(net, nullptr, cfg);
+    EXPECT_TRUE(r.agreement_and_exact()) << "seed " << seed;
+  }
+}
+
+TEST(CountAndElect, Alg2OnHiNetTrace) {
+  HiNetConfig gen;
+  gen.nodes = 24;
+  gen.heads = 4;
+  gen.phase_length = 1;
+  gen.phases = 23;
+  gen.hop_l = 2;
+  gen.reaffiliation_prob = 0.2;
+  gen.seed = 3;
+  HiNetTrace trace = make_hinet_trace(gen);
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kAlg2;
+  const ComputationResult r =
+      count_and_elect(trace.ctvg.topology(), &trace.ctvg.hierarchy(), cfg);
+  EXPECT_TRUE(r.agreement_and_exact());
+  EXPECT_EQ(r.answers[0].count, 24u);
+}
+
+TEST(CountAndElect, Alg1OnHiNetTrace) {
+  // k = n tokens, so Theorem 1 needs T >= n + alpha*L.
+  const std::size_t n = 20, heads = 3, alpha = 1, l = 2;
+  const std::size_t t = n + alpha * l;
+  const std::size_t m = (heads + alpha - 1) / alpha + 1;
+  HiNetConfig gen;
+  gen.nodes = n;
+  gen.heads = heads;
+  gen.phase_length = t;
+  gen.phases = m;
+  gen.hop_l = l;
+  gen.reaffiliation_prob = 0.1;
+  gen.seed = 5;
+  HiNetTrace trace = make_hinet_trace(gen);
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kAlg1;
+  cfg.alg1_phase_length = t;
+  cfg.alg1_phases = m;
+  const ComputationResult r =
+      count_and_elect(trace.ctvg.topology(), &trace.ctvg.hierarchy(), cfg);
+  EXPECT_TRUE(r.agreement_and_exact());
+}
+
+TEST(CountAndElect, InsufficientRoundsGivesPartialAnswers) {
+  // A long path with too few rounds: far nodes cannot know everyone.
+  StaticNetwork net(gen::path(12));
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kKloFlood;
+  cfg.rounds = 3;  // diameter is 11
+  const ComputationResult r = count_and_elect(net, nullptr, cfg);
+  EXPECT_FALSE(r.agreement_and_exact());
+  // End nodes know only their 3-hop neighbourhood plus themselves.
+  EXPECT_EQ(r.answers[0].count, 4u);
+}
+
+TEST(CountAndElect, SingleNode) {
+  StaticNetwork net(Graph(1));
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kKloFlood;
+  const ComputationResult r = count_and_elect(net, nullptr, cfg);
+  EXPECT_TRUE(r.agreement_and_exact());
+  EXPECT_EQ(r.answers[0].leader, std::optional<NodeId>(0));
+}
+
+TEST(CountAndElect, Alg1RequiresSchedule) {
+  StaticNetwork net(gen::ring(4));
+  HierarchyView h(4);
+  h.set_head(0);
+  HierarchySequence hier({h});
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kAlg1;
+  EXPECT_THROW(count_and_elect(net, &hier, cfg), PreconditionError);
+}
+
+TEST(CountAndElect, HierarchicalKindsRequireHierarchy) {
+  StaticNetwork net(gen::ring(4));
+  ComputationConfig cfg;
+  cfg.kind = DisseminationKind::kAlg2;
+  EXPECT_THROW(count_and_elect(net, nullptr, cfg), PreconditionError);
+}
+
+TEST(ComputationResult, AgreementPredicate) {
+  ComputationResult r;
+  EXPECT_FALSE(r.agreement_and_exact());  // empty
+  r.answers = {{2, NodeId{1}}, {2, NodeId{1}}};
+  EXPECT_TRUE(r.agreement_and_exact());
+  r.answers[1].leader = NodeId{0};
+  EXPECT_FALSE(r.agreement_and_exact());
+  r.answers[1].leader = NodeId{1};
+  r.answers[1].count = 1;
+  EXPECT_FALSE(r.agreement_and_exact());
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,167 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_THROW(ceil_div(1, 0), PreconditionError);
+}
+
+CostParams paper_params_interval() { return table3_params_hinet_interval(); }
+
+// ------- Table 3 reproduction (the paper's one numeric experiment) -------
+
+TEST(Table3, KloIntervalRow) {
+  const CostParams p = paper_params_interval();
+  // ⌈100/10⌉ · (8+10) = 180 rounds.
+  EXPECT_EQ(time_klo_interval(p), 180u);
+  // ⌈100/10⌉ · 100 · 8 = 8000 tokens.
+  EXPECT_EQ(comm_klo_interval(p), 8000u);
+}
+
+TEST(Table3, HiNetIntervalRow) {
+  const CostParams p = paper_params_interval();
+  // (⌈30/5⌉+1) · 18 = 126 rounds.
+  EXPECT_EQ(time_hinet_interval(p), 126u);
+  // 7 · 60 · 8 + 40 · 3 · 8 = 3360 + 960 = 4320 tokens.
+  EXPECT_EQ(comm_hinet_interval(p), 4320u);
+}
+
+TEST(Table3, KloOneIntervalRow) {
+  const CostParams p = table3_params_hinet_one();
+  EXPECT_EQ(time_klo_one(p), 99u);
+  EXPECT_EQ(comm_klo_one(p), 79200u);
+}
+
+TEST(Table3, HiNetOneIntervalRow) {
+  const CostParams p = table3_params_hinet_one();
+  EXPECT_EQ(time_hinet_one(p), 99u);
+  // Formula value: 99·60·8 + 40·10·8 = 47520 + 3200 = 50720.  The paper
+  // prints 51680 — a 960-token arithmetic slip recorded in EXPERIMENTS.md;
+  // we reproduce the *formula*.
+  EXPECT_EQ(comm_hinet_one(p), 50720u);
+}
+
+TEST(Table3, EvaluateAllRows) {
+  const auto rows = evaluate_table3();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].time, 180u);
+  EXPECT_EQ(rows[0].comm, 8000u);
+  EXPECT_EQ(rows[1].time, 126u);
+  EXPECT_EQ(rows[1].comm, 4320u);
+  EXPECT_EQ(rows[2].time, 99u);
+  EXPECT_EQ(rows[2].comm, 79200u);
+  EXPECT_EQ(rows[3].time, 99u);
+  EXPECT_EQ(rows[3].comm, 50720u);
+}
+
+TEST(Table3, HeadlineClaimsHold) {
+  // The paper's Section V claims: HiNet costs much less communication at
+  // similar-or-better time; benefit "as much as 50%".
+  const auto rows = evaluate_table3();
+  EXPECT_LT(rows[1].comm, rows[0].comm);      // 4320 < 8000
+  EXPECT_LT(rows[1].time, rows[0].time);      // 126 < 180
+  EXPECT_LT(rows[3].comm, rows[2].comm);      // 50720 < 79200
+  EXPECT_EQ(rows[3].time, rows[2].time);      // same 99
+  EXPECT_GE(1.0 - static_cast<double>(rows[1].comm) /
+                      static_cast<double>(rows[0].comm),
+            0.45);  // ≈46% saving in the (k+αL) setting
+}
+
+// ------- Table 2 structure -------
+
+TEST(Table2, EvaluatesAllFourModels) {
+  CostParams p;
+  p.n0 = 50;
+  p.theta = 10;
+  p.n_m = 20;
+  p.n_r = 2;
+  p.k = 4;
+  p.alpha = 2;
+  p.l = 3;
+  const auto rows = evaluate_table2(p);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].time, ceil_div(50, 6) * 10);
+  EXPECT_EQ(rows[0].comm, ceil_div(50, 4) * 50 * 4);
+  EXPECT_EQ(rows[1].time, (ceil_div(10, 2) + 1) * 10);
+  EXPECT_EQ(rows[1].comm, 6u * 30u * 4u + 20u * 2u * 4u);
+  EXPECT_EQ(rows[2].time, 49u);
+  EXPECT_EQ(rows[2].comm, 49u * 50u * 4u);
+  EXPECT_EQ(rows[3].time, 49u);
+  EXPECT_EQ(rows[3].comm, 49u * 30u * 4u + 20u * 2u * 4u);
+}
+
+TEST(Table2, GuardsDegenerateInputs) {
+  CostParams p;
+  p.n0 = 0;
+  p.k = 1;
+  EXPECT_THROW(time_klo_one(p), PreconditionError);
+  p.n0 = 10;
+  p.n_m = 11;
+  EXPECT_THROW(comm_hinet_interval(p), PreconditionError);
+}
+
+// ------- Schedule helpers -------
+
+TEST(Schedules, Alg1Parameters) {
+  const CostParams p = paper_params_interval();
+  EXPECT_EQ(alg1_min_phase_length(p), 18u);  // k + αL = 8 + 10
+  EXPECT_EQ(alg1_phase_count(p), 7u);        // ⌈30/5⌉ + 1
+}
+
+TEST(Schedules, Alg1StablePhaseCount) {
+  EXPECT_EQ(alg1_stable_phase_count(30, 5), 7u);
+  EXPECT_EQ(alg1_stable_phase_count(12, 5), 4u);  // ⌈12/5⌉+1
+  EXPECT_EQ(alg1_stable_phase_count(0, 5), 1u);
+}
+
+TEST(Schedules, Alg2AndKlo) {
+  const CostParams p = paper_params_interval();
+  EXPECT_EQ(alg2_round_count(p), 99u);
+  EXPECT_EQ(klo_phase_count(p), 10u);  // ⌈100/10⌉
+}
+
+// Property: the HiNet advantage claimed by the paper holds across a
+// parameter grid whenever n_r is small relative to the dissemination
+// length — the condition the paper states ("n_r should be much less than
+// n_0").
+struct GridCase {
+  std::size_t n0, theta, n_m, n_r, k, alpha, l;
+};
+
+class CostModelGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CostModelGrid, HiNetCommunicationWinsWhenChurnIsLow) {
+  const GridCase c = GetParam();
+  CostParams p;
+  p.n0 = c.n0;
+  p.theta = c.theta;
+  p.n_m = c.n_m;
+  p.n_r = c.n_r;
+  p.k = c.k;
+  p.alpha = c.alpha;
+  p.l = c.l;
+  EXPECT_LT(comm_hinet_interval(p), comm_klo_interval(p));
+  EXPECT_LT(comm_hinet_one(p), comm_klo_one(p));
+  EXPECT_LE(time_hinet_one(p), time_klo_one(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostModelGrid,
+    ::testing::Values(GridCase{100, 30, 40, 3, 8, 5, 2},
+                      GridCase{50, 10, 25, 2, 4, 2, 2},
+                      GridCase{200, 50, 100, 5, 16, 5, 3},
+                      GridCase{400, 80, 200, 4, 32, 10, 2},
+                      GridCase{60, 20, 30, 1, 2, 1, 1},
+                      GridCase{1000, 100, 600, 8, 10, 4, 2}));
+
+}  // namespace
+}  // namespace hinet

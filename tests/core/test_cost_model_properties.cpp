@@ -1,0 +1,104 @@
+// Monotonicity and scaling properties of the Table 2 closed forms —
+// the qualitative structure the sweeps rely on, checked symbolically
+// across a random parameter grid.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+namespace {
+
+CostParams random_params(Rng& rng) {
+  CostParams p;
+  p.n0 = 20 + rng.below(400);
+  p.theta = 2 + rng.below(p.n0 / 2);
+  p.n_m = rng.below(p.n0);
+  p.n_r = rng.below(12);
+  p.k = 1 + rng.below(32);
+  p.alpha = 1 + rng.below(8);
+  p.l = 1 + rng.below(4);
+  return p;
+}
+
+class CostModelProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CostModelProperties, CommunicationLinearInK) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    CostParams p = random_params(rng);
+    CostParams p2 = p;
+    p2.k = 2 * p.k;
+    // Every communication formula is proportional to k at fixed other
+    // parameters, except for the ceil terms which do not involve k in the
+    // comm columns of rows 1, 3, 4; row 2's phase count is k-free too.
+    EXPECT_EQ(comm_klo_one(p2), 2 * comm_klo_one(p));
+    EXPECT_EQ(comm_hinet_one(p2), 2 * comm_hinet_one(p));
+    EXPECT_EQ(comm_klo_interval(p2), 2 * comm_klo_interval(p));
+    EXPECT_EQ(comm_hinet_interval(p2), 2 * comm_hinet_interval(p));
+  }
+}
+
+TEST_P(CostModelProperties, MemberTermMonotoneInChurn) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    CostParams p = random_params(rng);
+    CostParams p2 = p;
+    p2.n_r = p.n_r + 3;
+    EXPECT_GE(comm_hinet_interval(p2), comm_hinet_interval(p));
+    EXPECT_GE(comm_hinet_one(p2), comm_hinet_one(p));
+    // KLO costs are churn-independent.
+    EXPECT_EQ(comm_klo_interval(p2), comm_klo_interval(p));
+    EXPECT_EQ(comm_klo_one(p2), comm_klo_one(p));
+  }
+}
+
+TEST_P(CostModelProperties, BackboneTermShrinksWithMoreMembers) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    CostParams p = random_params(rng);
+    if (p.n_m + 5 > p.n0 || p.n_r > 0) continue;
+    CostParams p2 = p;
+    p2.n_m = p.n_m + 5;
+    // With n_r = 0, moving nodes from backbone to member strictly reduces
+    // both HiNet communication costs.
+    EXPECT_LT(comm_hinet_interval(p2), comm_hinet_interval(p));
+    EXPECT_LT(comm_hinet_one(p2), comm_hinet_one(p));
+  }
+}
+
+TEST_P(CostModelProperties, TimeMonotoneInThetaAndImprovedByAlpha) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    CostParams p = random_params(rng);
+    CostParams more_heads = p;
+    more_heads.theta = p.theta + p.alpha;  // one more full phase
+    EXPECT_GT(time_hinet_interval(more_heads), time_hinet_interval(p));
+
+    // Larger alpha never increases the phase count, though each phase
+    // lengthens; the phase count itself is monotone non-increasing.
+    CostParams bigger_alpha = p;
+    bigger_alpha.alpha = p.alpha + 1;
+    EXPECT_LE(alg1_phase_count(bigger_alpha), alg1_phase_count(p));
+    EXPECT_GT(alg1_min_phase_length(bigger_alpha),
+              alg1_min_phase_length(p));
+  }
+}
+
+TEST_P(CostModelProperties, HiNetOneAlwaysAtMostKloOne) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const CostParams p = random_params(rng);
+    // (n0-1)(n0-n_m)k + n_m*n_r*k <= (n0-1)*n0*k  iff  n_r <= n0-1,
+    // which random_params guarantees (n_r < 12 <= n0-1 for n0 >= 20).
+    ASSERT_LE(p.n_r, p.n0 - 1);
+    EXPECT_LE(comm_hinet_one(p), comm_klo_one(p));
+    EXPECT_EQ(time_hinet_one(p), time_klo_one(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelProperties,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,228 @@
+#include "core/hinet_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hinet_properties.hpp"
+#include "graph/interval.hpp"
+
+namespace hinet {
+namespace {
+
+HiNetConfig base_config(std::uint64_t seed) {
+  HiNetConfig cfg;
+  cfg.nodes = 40;
+  cfg.heads = 6;
+  cfg.phase_length = 8;
+  cfg.phases = 5;
+  cfg.hop_l = 2;
+  cfg.reaffiliation_prob = 0.15;
+  cfg.churn_edges = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(HiNetMinNodes, Formula) {
+  EXPECT_EQ(hinet_min_nodes(1, 3), 1u);
+  EXPECT_EQ(hinet_min_nodes(5, 1), 5u);    // L=1: no relays
+  EXPECT_EQ(hinet_min_nodes(5, 2), 9u);    // 4 relays
+  EXPECT_EQ(hinet_min_nodes(4, 4), 13u);   // 3*3 relays
+  EXPECT_THROW(hinet_min_nodes(0, 2), PreconditionError);
+  EXPECT_THROW(hinet_min_nodes(2, 0), PreconditionError);
+}
+
+TEST(HiNetGenerator, RejectsInsufficientNodes) {
+  HiNetConfig cfg = base_config(1);
+  cfg.nodes = 8;  // needs >= 6 + 5*1 = 11
+  EXPECT_THROW(make_hinet_trace(cfg), PreconditionError);
+}
+
+TEST(HiNetGenerator, TraceShape) {
+  const HiNetConfig cfg = base_config(2);
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_EQ(trace.ctvg.node_count(), 40u);
+  EXPECT_EQ(trace.ctvg.round_count(), 40u);  // 5 phases * 8 rounds
+  EXPECT_EQ(trace.ctvg.validate(), "");
+}
+
+TEST(HiNetGenerator, DeterministicPerSeed) {
+  const HiNetConfig cfg = base_config(3);
+  HiNetTrace a = make_hinet_trace(cfg);
+  HiNetTrace b = make_hinet_trace(cfg);
+  for (Round r = 0; r < a.ctvg.round_count(); ++r) {
+    EXPECT_TRUE(a.ctvg.graph_at(r) == b.ctvg.graph_at(r)) << "round " << r;
+    EXPECT_TRUE(a.ctvg.hierarchy_at(r) == b.ctvg.hierarchy_at(r));
+  }
+  EXPECT_EQ(a.stats.reaffiliation_events, b.stats.reaffiliation_events);
+}
+
+TEST(HiNetGenerator, HeadCountMatchesConfig) {
+  const HiNetConfig cfg = base_config(4);
+  HiNetTrace trace = make_hinet_trace(cfg);
+  for (Round r = 0; r < trace.ctvg.round_count(); ++r) {
+    EXPECT_EQ(trace.ctvg.hierarchy_at(r).head_count(), cfg.heads);
+  }
+}
+
+TEST(HiNetGenerator, StableHeadsNeverChange) {
+  HiNetConfig cfg = base_config(5);
+  cfg.stable_heads = true;
+  cfg.head_churn_prob = 0.9;  // must be ignored
+  HiNetTrace trace = make_hinet_trace(cfg);
+  const auto heads0 = trace.ctvg.hierarchy_at(0).heads();
+  for (Round r = 1; r < trace.ctvg.round_count(); ++r) {
+    EXPECT_EQ(trace.ctvg.hierarchy_at(r).heads(), heads0);
+  }
+  EXPECT_EQ(trace.stats.theta, cfg.heads);
+  EXPECT_EQ(trace.stats.head_changes, 0u);
+}
+
+TEST(HiNetGenerator, HeadChurnGrowsTheta) {
+  HiNetConfig cfg = base_config(6);
+  cfg.head_churn_prob = 0.5;
+  cfg.phases = 8;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_GT(trace.stats.theta, cfg.heads);  // some swaps happened
+  EXPECT_GT(trace.stats.head_changes, 0u);
+  // Per-round head count stays at the budget even as identities churn.
+  for (Round r = 0; r < trace.ctvg.round_count(); ++r) {
+    EXPECT_EQ(trace.ctvg.hierarchy_at(r).head_count(), cfg.heads);
+  }
+}
+
+TEST(HiNetGenerator, ZeroReaffiliationMeansQuietMembers) {
+  HiNetConfig cfg = base_config(7);
+  cfg.reaffiliation_prob = 0.0;
+  cfg.head_churn_prob = 0.0;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_EQ(trace.stats.reaffiliation_events, 0u);
+  EXPECT_DOUBLE_EQ(trace.stats.mean_reaffiliations, 0.0);
+}
+
+TEST(HiNetGenerator, ReaffiliationRateScalesWithProbability) {
+  HiNetConfig lo = base_config(8);
+  lo.reaffiliation_prob = 0.05;
+  lo.phases = 10;
+  HiNetConfig hi = lo;
+  hi.reaffiliation_prob = 0.6;
+  const auto t_lo = make_hinet_trace(lo);
+  const auto t_hi = make_hinet_trace(hi);
+  EXPECT_LT(t_lo.stats.reaffiliation_events, t_hi.stats.reaffiliation_events);
+}
+
+TEST(HiNetGenerator, SatisfiesHiNetDefinitionByConstruction) {
+  const HiNetConfig cfg = base_config(9);
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_TRUE(check_hinet(trace.ctvg, trace.ctvg.round_count(),
+                          cfg.phase_length, cfg.hop_l));
+}
+
+TEST(HiNetGenerator, BackboneLIsExactWithoutChurn) {
+  HiNetConfig cfg = base_config(10);
+  cfg.churn_edges = 0;
+  for (int l : {1, 2, 3}) {
+    cfg.hop_l = l;
+    HiNetTrace trace = make_hinet_trace(cfg);
+    // The chain spaces adjacent heads exactly L hops apart.
+    EXPECT_EQ(measure_l_hop(trace.ctvg, 0), l) << "L=" << l;
+  }
+}
+
+TEST(HiNetGenerator, SupportsMultiHopBackbones) {
+  // L > 3 requires unaffiliated middle relays (future-work extension).
+  HiNetConfig cfg = base_config(11);
+  cfg.nodes = 60;
+  cfg.hop_l = 5;
+  cfg.churn_edges = 0;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_EQ(trace.ctvg.validate(), "");
+  EXPECT_EQ(measure_l_hop(trace.ctvg, 0), 5);
+  // Some gateway must be unaffiliated.
+  const HierarchyView& h = trace.ctvg.hierarchy_at(0);
+  bool unaffiliated_gateway = false;
+  for (NodeId v = 0; v < h.node_count(); ++v) {
+    if (h.is_gateway(v) && h.cluster_of(v) == kNoCluster) {
+      unaffiliated_gateway = true;
+    }
+  }
+  EXPECT_TRUE(unaffiliated_gateway);
+}
+
+TEST(HiNetGenerator, EveryRoundIsConnected) {
+  // Backbone + member edges span the graph: 1-interval connectivity.
+  const HiNetConfig cfg = base_config(12);
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_TRUE(is_one_interval_connected(trace.ctvg.topology(),
+                                        trace.ctvg.round_count()));
+}
+
+TEST(HiNetGenerator, PhaseLengthOneModelsOneLHiNet) {
+  HiNetConfig cfg = base_config(13);
+  cfg.phase_length = 1;
+  cfg.phases = 30;
+  cfg.reaffiliation_prob = 0.3;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_EQ(trace.ctvg.round_count(), 30u);
+  EXPECT_TRUE(check_hinet(trace.ctvg, 30, 1, cfg.hop_l));
+  EXPECT_GT(trace.stats.reaffiliation_events, 0u);
+}
+
+TEST(HiNetGenerator, SingleHeadDegenerates) {
+  HiNetConfig cfg = base_config(14);
+  cfg.heads = 1;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_EQ(trace.ctvg.validate(), "");
+  EXPECT_EQ(trace.ctvg.hierarchy_at(0).head_count(), 1u);
+  // All non-heads are members of the single cluster.
+  EXPECT_EQ(trace.stats.mean_members, 39.0);
+}
+
+TEST(HiNetGenerator, MeanMembersAccountsForBackbone) {
+  const HiNetConfig cfg = base_config(15);
+  HiNetTrace trace = make_hinet_trace(cfg);
+  // nodes - heads - relays = 40 - 6 - 5 = 29 plain members per round.
+  EXPECT_DOUBLE_EQ(trace.stats.mean_members, 29.0);
+}
+
+// Property sweep across seeds and parameter combinations: every generated
+// trace is valid, satisfies Definition 8 and is 1-interval connected.
+struct GenCase {
+  std::size_t nodes, heads, t, phases;
+  int l;
+  double reaff;
+  std::uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorSweep, TraceSatisfiesModel) {
+  const GenCase c = GetParam();
+  HiNetConfig cfg;
+  cfg.nodes = c.nodes;
+  cfg.heads = c.heads;
+  cfg.phase_length = c.t;
+  cfg.phases = c.phases;
+  cfg.hop_l = c.l;
+  cfg.reaffiliation_prob = c.reaff;
+  cfg.churn_edges = 3;
+  cfg.seed = c.seed;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  EXPECT_EQ(trace.ctvg.validate(), "");
+  EXPECT_TRUE(
+      check_hinet(trace.ctvg, trace.ctvg.round_count(), c.t, c.l));
+  EXPECT_TRUE(is_one_interval_connected(trace.ctvg.topology(),
+                                        trace.ctvg.round_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorSweep,
+    ::testing::Values(GenCase{20, 3, 4, 3, 1, 0.1, 1},
+                      GenCase{30, 5, 6, 4, 2, 0.2, 2},
+                      GenCase{50, 8, 10, 3, 3, 0.3, 3},
+                      GenCase{64, 10, 12, 4, 2, 0.05, 4},
+                      GenCase{25, 4, 1, 20, 2, 0.4, 5},
+                      GenCase{100, 12, 18, 5, 2, 0.15, 6},
+                      GenCase{40, 2, 5, 5, 4, 0.2, 7},
+                      GenCase{36, 6, 8, 4, 3, 0.25, 8}));
+
+}  // namespace
+}  // namespace hinet

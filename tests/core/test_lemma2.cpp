@@ -1,0 +1,132 @@
+// Direct validation of Lemma 2 — the engine of Theorem 1's proof.
+//
+// "With T-interval L-hop cluster head connectivity and T-interval stable
+//  hierarchy, for any token t known by node u at the beginning of any
+//  phase i, at least ⌊(T-k)/L⌋ cluster head nodes will newly learn t in
+//  the end of the phase i."
+//
+// We run Algorithm 1 on generated (T, L)-HiNet traces and, at every phase
+// boundary, count for every token the heads that know it: the growth per
+// phase must be at least min(⌊(T-k)/L⌋, heads that don't know it yet).
+#include <gtest/gtest.h>
+
+#include "analysis/assignment.hpp"
+#include "core/alg1.hpp"
+#include "core/hinet_generator.hpp"
+#include "sim/engine.hpp"
+
+namespace hinet {
+namespace {
+
+struct LemmaCase {
+  std::size_t nodes, heads, k, alpha;
+  int l;
+  std::uint64_t seed;
+};
+
+class Lemma2Sweep : public ::testing::TestWithParam<LemmaCase> {};
+
+TEST_P(Lemma2Sweep, EveryKnownTokenReachesAlphaNewHeadsPerPhase) {
+  const LemmaCase c = GetParam();
+  const std::size_t t = c.k + c.alpha * static_cast<std::size_t>(c.l);
+  const std::size_t m = (c.heads + c.alpha - 1) / c.alpha + 1;
+
+  HiNetConfig gen;
+  gen.nodes = c.nodes;
+  gen.heads = c.heads;
+  gen.phase_length = t;
+  gen.phases = m;
+  gen.hop_l = c.l;
+  gen.reaffiliation_prob = 0.1;
+  gen.churn_edges = 3;
+  gen.seed = c.seed;
+  HiNetTrace trace = make_hinet_trace(gen);
+
+  Rng rng(c.seed ^ 0x1e44aULL);
+  const auto init =
+      assign_tokens(c.nodes, c.k, AssignmentMode::kDistinctRandom, rng);
+
+  Alg1Params params;
+  params.k = c.k;
+  params.phase_length = t;
+  params.phases = m;
+  auto procs = make_alg1_processes(init, params);
+  std::vector<const Process*> views;
+  for (const auto& p : procs) views.push_back(p.get());
+
+  // Heads knowing each token at the previous phase boundary; tokens known
+  // by anyone at the phase start.
+  auto heads_knowing = [&](const HierarchyView& h) {
+    std::vector<std::size_t> counts(c.k, 0);
+    for (NodeId head : h.heads()) {
+      for (TokenId tok = 0; tok < c.k; ++tok) {
+        if (views[head]->knowledge().contains(tok)) ++counts[tok];
+      }
+    }
+    return counts;
+  };
+  auto known_by_anyone = [&] {
+    std::vector<char> known(c.k, 0);
+    for (const Process* p : views) {
+      for (TokenId tok = 0; tok < c.k; ++tok) {
+        if (p->knowledge().contains(tok)) known[tok] = 1;
+      }
+    }
+    return known;
+  };
+
+  Engine engine(trace.ctvg.topology(), &trace.ctvg.hierarchy(),
+                std::move(procs));
+
+  std::vector<std::size_t> at_phase_start(c.k, 0);
+  std::vector<char> known_at_start(c.k, 0);
+  bool initialised = false;
+  std::size_t violations = 0;
+  const std::size_t alpha_floor = (t - c.k) / static_cast<std::size_t>(c.l);
+
+  engine.set_observer([&](Round r, const std::vector<Packet>&, const Graph&,
+                          const HierarchyView& h) {
+    const bool phase_end = (r + 1) % t == 0;
+    if (!initialised) {
+      // Baseline as of the start of phase 0 is the initial assignment,
+      // approximated by the state after round 0's receive only for the
+      // head counts; tokens are known from round 0 by their holders.
+      at_phase_start.assign(c.k, 0);
+      for (NodeId head : h.heads()) {
+        for (TokenId tok = 0; tok < c.k; ++tok) {
+          if (init[head].contains(tok)) ++at_phase_start[tok];
+        }
+      }
+      for (TokenId tok = 0; tok < c.k; ++tok) known_at_start[tok] = 1;
+      initialised = true;
+    }
+    if (!phase_end) return;
+    const auto now = heads_knowing(h);
+    for (TokenId tok = 0; tok < c.k; ++tok) {
+      if (!known_at_start[tok]) continue;
+      const std::size_t missing = c.heads - at_phase_start[tok];
+      const std::size_t required = std::min(alpha_floor, missing);
+      if (now[tok] < at_phase_start[tok] + required) ++violations;
+    }
+    at_phase_start = now;
+    const auto known = known_by_anyone();
+    for (TokenId tok = 0; tok < c.k; ++tok) known_at_start[tok] = known[tok];
+  });
+
+  const SimMetrics metrics =
+      engine.run({.max_rounds = m * t, .stop_when_complete = false});
+  EXPECT_TRUE(metrics.all_delivered);
+  EXPECT_EQ(violations, 0u) << "Lemma 2 progress violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma2Sweep,
+    ::testing::Values(LemmaCase{30, 4, 4, 1, 2, 1},
+                      LemmaCase{30, 4, 4, 1, 2, 2},
+                      LemmaCase{40, 6, 6, 2, 2, 3},
+                      LemmaCase{50, 8, 5, 2, 3, 4},
+                      LemmaCase{60, 10, 8, 5, 2, 5},
+                      LemmaCase{36, 6, 3, 3, 1, 6}));
+
+}  // namespace
+}  // namespace hinet

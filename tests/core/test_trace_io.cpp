@@ -1,0 +1,198 @@
+// CTVG trace serialization round-trips and malformed-input rejection.
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/hinet_generator.hpp"
+
+namespace hinet {
+namespace {
+
+HiNetTrace sample_trace(std::uint64_t seed) {
+  HiNetConfig cfg;
+  cfg.nodes = 18;
+  cfg.heads = 3;
+  cfg.phase_length = 4;
+  cfg.phases = 3;
+  cfg.hop_l = 2;
+  cfg.reaffiliation_prob = 0.3;
+  cfg.churn_edges = 3;
+  cfg.seed = seed;
+  return make_hinet_trace(cfg);
+}
+
+void expect_equal_traces(Ctvg& a, Ctvg& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.round_count(), b.round_count());
+  for (Round r = 0; r < a.round_count(); ++r) {
+    EXPECT_TRUE(a.graph_at(r) == b.graph_at(r)) << "round " << r;
+    EXPECT_TRUE(a.hierarchy_at(r) == b.hierarchy_at(r)) << "round " << r;
+  }
+}
+
+TEST(TraceIo, StringRoundTrip) {
+  HiNetTrace trace = sample_trace(1);
+  const std::string text = serialize_ctvg(trace.ctvg);
+  Ctvg parsed = parse_ctvg(text);
+  expect_equal_traces(trace.ctvg, parsed);
+}
+
+TEST(TraceIo, RoundTripIsStable) {
+  // serialize(parse(serialize(x))) == serialize(x)
+  HiNetTrace trace = sample_trace(2);
+  const std::string once = serialize_ctvg(trace.ctvg);
+  Ctvg parsed = parse_ctvg(once);
+  EXPECT_EQ(serialize_ctvg(parsed), once);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  HiNetTrace trace = sample_trace(3);
+  const std::string path = ::testing::TempDir() + "/hinet_trace_test.txt";
+  save_ctvg(trace.ctvg, path);
+  Ctvg loaded = load_ctvg(path);
+  expect_equal_traces(trace.ctvg, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_ctvg("/nonexistent/dir/trace.txt"), std::runtime_error);
+}
+
+TEST(TraceIo, HandlesUnaffiliatedGateways) {
+  // L = 4 backbones have unaffiliated middle relays ('g' with '-').
+  HiNetConfig cfg;
+  cfg.nodes = 30;
+  cfg.heads = 3;
+  cfg.phase_length = 2;
+  cfg.phases = 2;
+  cfg.hop_l = 4;
+  cfg.seed = 4;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  const std::string text = serialize_ctvg(trace.ctvg);
+  EXPECT_NE(text.find(" -"), std::string::npos);
+  Ctvg parsed = parse_ctvg(text);
+  expect_equal_traces(trace.ctvg, parsed);
+}
+
+TEST(TraceIo, FormatIsHumanReadable) {
+  HiNetTrace trace = sample_trace(5);
+  const std::string text = serialize_ctvg(trace.ctvg);
+  EXPECT_EQ(text.rfind("hinet-trace v1\n", 0), 0u);
+  EXPECT_NE(text.find("nodes 18 rounds 12"), std::string::npos);
+  EXPECT_NE(text.find("round 0"), std::string::npos);
+  EXPECT_NE(text.find("edges "), std::string::npos);
+  EXPECT_NE(text.find("roles "), std::string::npos);
+  EXPECT_NE(text.find("clusters "), std::string::npos);
+}
+
+// --- malformed input rejection -------------------------------------------
+
+TEST(TraceIoErrors, BadMagic) {
+  EXPECT_THROW(parse_ctvg("not-a-trace\n"), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, BadHeader) {
+  EXPECT_THROW(parse_ctvg("hinet-trace v1\nnodes x rounds 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_ctvg("hinet-trace v1\nnodes 0 rounds 1\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIoErrors, TruncatedInput) {
+  EXPECT_THROW(parse_ctvg("hinet-trace v1\nnodes 2 rounds 1\nround 0\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIoErrors, WrongRoundIndex) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 7\nedges\nroles mm\n"
+      "clusters - -\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, BadEdgeToken) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges 0x1\nroles mm\n"
+      "clusters - -\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, EdgeOutOfRange) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges 0-5\nroles mm\n"
+      "clusters - -\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, RoleStringWrongLength) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges\nroles m\n"
+      "clusters - -\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, UnknownRoleCharacter) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges\nroles mx\n"
+      "clusters - -\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, MemberAffiliatedWithNonHead) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges 0-1\nroles mm\n"
+      "clusters 1 -\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, HeadWithForeignCluster) {
+  const std::string text =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges 0-1\nroles hm\n"
+      "clusters 1 0\n";
+  EXPECT_THROW(parse_ctvg(text), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, ClusterCellCountMismatch) {
+  const std::string too_few =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges\nroles mm\n"
+      "clusters -\n";
+  EXPECT_THROW(parse_ctvg(too_few), std::invalid_argument);
+  const std::string too_many =
+      "hinet-trace v1\nnodes 2 rounds 1\nround 0\nedges\nroles mm\n"
+      "clusters - - -\n";
+  EXPECT_THROW(parse_ctvg(too_many), std::invalid_argument);
+}
+
+TEST(TraceIoErrors, MessagesCarryLineNumbers) {
+  try {
+    parse_ctvg("hinet-trace v1\nnodes 2 rounds 1\nround 7\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, ParsedTraceIsUsable) {
+  // A minimal hand-written trace parses into a valid CTVG.
+  const std::string text =
+      "hinet-trace v1\n"
+      "nodes 3 rounds 2\n"
+      "round 0\n"
+      "edges 0-1 0-2 1-2\n"
+      "roles hmg\n"
+      "clusters 0 0 0\n"
+      "round 1\n"
+      "edges 0-1 0-2\n"
+      "roles hmm\n"
+      "clusters 0 0 0\n";
+  Ctvg trace = parse_ctvg(text);
+  EXPECT_EQ(trace.node_count(), 3u);
+  EXPECT_EQ(trace.round_count(), 2u);
+  EXPECT_TRUE(trace.hierarchy_at(0).is_gateway(2));
+  EXPECT_EQ(trace.validate(), "");
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,129 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hinet {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(Generators, PathDegenerate) {
+  EXPECT_EQ(gen::path(0).node_count(), 0u);
+  EXPECT_EQ(gen::path(1).edge_count(), 0u);
+}
+
+TEST(Generators, RingShape) {
+  const Graph g = gen::ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.diameter(), 3);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(gen::ring(2), PreconditionError);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::star(7);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(g.diameter(), 2);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = gen::complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_EQ(g.diameter(), 1);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 5);  // manhattan corner-to-corner
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(gen::erdos_renyi(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(gen::erdos_renyi(10, 1.0, rng).edge_count(), 45u);
+  EXPECT_THROW(gen::erdos_renyi(10, 1.5, rng), PreconditionError);
+}
+
+TEST(Generators, ErdosRenyiDensityNearP) {
+  Rng rng(2);
+  const Graph g = gen::erdos_renyi(60, 0.3, rng);
+  const double density =
+      static_cast<double>(g.edge_count()) / (60.0 * 59.0 / 2.0);
+  EXPECT_NEAR(density, 0.3, 0.06);
+}
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+  Rng rng(3);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 20u, 64u}) {
+    const Graph g = gen::random_tree(n, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.edge_count(), n - 1);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(Generators, RandomTreeVariesWithSeed) {
+  Rng a(10), b(11);
+  const Graph ga = gen::random_tree(30, a);
+  const Graph gb = gen::random_tree(30, b);
+  EXPECT_FALSE(ga == gb);  // overwhelmingly likely
+}
+
+TEST(Generators, RandomConnectedHasExtraEdges) {
+  Rng rng(4);
+  const Graph g = gen::random_connected(20, 10, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.edge_count(), 19u);
+  EXPECT_LE(g.edge_count(), 29u);
+}
+
+TEST(Generators, RandomConnectedClampsToComplete) {
+  Rng rng(4);
+  const Graph g = gen::random_connected(4, 1000, rng);
+  EXPECT_EQ(g.edge_count(), 6u);
+}
+
+TEST(Generators, GeometricRadiusControlsEdges) {
+  std::vector<gen::Point2D> pts{{0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}};
+  EXPECT_EQ(gen::geometric(pts, 0.4).edge_count(), 0u);
+  EXPECT_EQ(gen::geometric(pts, 0.5).edge_count(), 2u);
+  EXPECT_EQ(gen::geometric(pts, 1.0).edge_count(), 3u);
+  EXPECT_THROW(gen::geometric(pts, -0.1), PreconditionError);
+}
+
+TEST(Generators, RandomPointsInUnitSquare) {
+  Rng rng(5);
+  for (const auto& p : gen::random_points(100, rng)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+// Parameterized sweep: every random tree over many seeds is a tree.
+class RandomTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeProperty, AlwaysASpanningTree) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(100);
+  const Graph g = gen::random_tree(n, rng);
+  EXPECT_EQ(g.edge_count(), n - 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty,
+                         ::testing::Range<std::uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,206 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(Edge, CanonicalOrder) {
+  const Edge e = make_edge(5, 2);
+  EXPECT_EQ(e.u, 2u);
+  EXPECT_EQ(e.v, 5u);
+  EXPECT_THROW(make_edge(3, 3), PreconditionError);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 0);
+}
+
+TEST(Graph, AddRemoveEdges) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate, either orientation
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), PreconditionError);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), PreconditionError);
+  EXPECT_THROW(g.has_edge(9, 0), PreconditionError);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto n = g.neighbors(2);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 0u);
+  EXPECT_EQ(n[1], 3u);
+  EXPECT_EQ(n[2], 4u);
+  EXPECT_EQ(g.degree(2), 3u);
+}
+
+TEST(Graph, EdgeListSorted) {
+  Graph g(4, {{2, 3}, {0, 1}, {0, 2}});
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 3}));
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto d = g.distances_from(0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(g.distance(0, 4), 4);
+  EXPECT_EQ(g.distance(4, 0), 4);
+}
+
+TEST(Graph, UnreachableDistanceIsMinusOne) {
+  Graph g(4, {{0, 1}});
+  EXPECT_EQ(g.distance(0, 3), -1);
+  const auto d = g.distances_from(0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, SingleNodeConnected) {
+  EXPECT_TRUE(Graph(1).is_connected());
+}
+
+TEST(Graph, ConnectedSubsetChecksInducedEdgesOnly) {
+  // 0-1-2 path; subset {0, 2} is NOT connected without node 1.
+  Graph g(3, {{0, 1}, {1, 2}});
+  const std::vector<NodeId> both_ends{0, 2};
+  EXPECT_FALSE(g.is_connected_subset(both_ends));
+  const std::vector<NodeId> all{0, 1, 2};
+  EXPECT_TRUE(g.is_connected_subset(all));
+  const std::vector<NodeId> empty;
+  EXPECT_TRUE(g.is_connected_subset(empty));
+  const std::vector<NodeId> one{2};
+  EXPECT_TRUE(g.is_connected_subset(one));
+}
+
+TEST(Graph, ComponentsLabeling) {
+  Graph g(5, {{0, 1}, {3, 4}});
+  const auto c = g.components();
+  EXPECT_EQ(c[0], c[1]);
+  EXPECT_EQ(c[3], c[4]);
+  EXPECT_NE(c[0], c[2]);
+  EXPECT_NE(c[0], c[3]);
+  EXPECT_NE(c[2], c[3]);
+}
+
+TEST(Graph, DiameterOfPathAndCycle) {
+  Graph path(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(path.diameter(), 3);
+  Graph cycle(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(cycle.diameter(), 2);
+  Graph disconnected(3, {{0, 1}});
+  EXPECT_EQ(disconnected.diameter(), -1);
+}
+
+TEST(Graph, IntersectionAndUnion) {
+  Graph a(4, {{0, 1}, {1, 2}, {2, 3}});
+  Graph b(4, {{1, 2}, {2, 3}, {0, 3}});
+  const Graph inter = Graph::intersection(a, b);
+  EXPECT_EQ(inter.edge_count(), 2u);
+  EXPECT_TRUE(inter.has_edge(1, 2));
+  EXPECT_TRUE(inter.has_edge(2, 3));
+  const Graph uni = Graph::union_of(a, b);
+  EXPECT_EQ(uni.edge_count(), 4u);
+  EXPECT_TRUE(uni.has_edge(0, 3));
+}
+
+TEST(Graph, IntersectionNodeCountMismatchThrows) {
+  EXPECT_THROW(Graph::intersection(Graph(3), Graph(4)), PreconditionError);
+}
+
+TEST(Graph, ContainsSubgraph) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  Graph sub(4, {{1, 2}});
+  EXPECT_TRUE(g.contains_subgraph(sub));
+  sub.add_edge(0, 3);
+  EXPECT_FALSE(g.contains_subgraph(sub));
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a(3, {{0, 1}});
+  Graph b(3);
+  b.add_edge(1, 0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(RestrictedDistances, HonorsMask) {
+  // Path 0-1-2-3; forbid node 1: 0 cannot reach 2.
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<char> mask{1, 0, 1, 1};
+  const auto d = restricted_distances(g, 0, mask);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], -1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(RestrictedDistances, SourceOutsideMaskIsAllUnreachable) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  std::vector<char> mask{0, 1, 1};
+  const auto d = restricted_distances(g, 0, mask);
+  EXPECT_EQ(d[0], -1);
+  EXPECT_EQ(d[1], -1);
+}
+
+TEST(RestrictedDistances, MaskSizeMismatchThrows) {
+  Graph g(3);
+  std::vector<char> mask{1, 1};
+  EXPECT_THROW(restricted_distances(g, 0, mask), PreconditionError);
+}
+
+TEST(GraphProperty, IntersectionIsSubgraphOfBoth) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph a(20);
+    Graph b(20);
+    for (int e = 0; e < 40; ++e) {
+      const auto x = static_cast<NodeId>(rng.below(20));
+      const auto y = static_cast<NodeId>(rng.below(20));
+      if (x == y) continue;
+      if (rng.bernoulli(0.5)) a.add_edge(x, y);
+      if (rng.bernoulli(0.5)) b.add_edge(x, y);
+    }
+    const Graph inter = Graph::intersection(a, b);
+    EXPECT_TRUE(a.contains_subgraph(inter));
+    EXPECT_TRUE(b.contains_subgraph(inter));
+    const Graph uni = Graph::union_of(a, b);
+    EXPECT_TRUE(uni.contains_subgraph(a));
+    EXPECT_TRUE(uni.contains_subgraph(b));
+  }
+}
+
+}  // namespace
+}  // namespace hinet

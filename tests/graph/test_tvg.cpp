@@ -1,0 +1,203 @@
+// TVG model, journeys, temporal metrics, and the dynamic diameter.
+#include "graph/tvg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/adversary.hpp"
+#include "graph/generators.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(Tvg, PresenceIntervalsMerge) {
+  Tvg tvg(3, 10);
+  tvg.add_presence(0, 1, 2, 4);
+  tvg.add_presence(0, 1, 3, 6);  // overlaps -> [2, 6)
+  tvg.add_presence(0, 1, 8, 9);
+  const auto ivals = tvg.presence_of(0, 1);
+  ASSERT_EQ(ivals.size(), 2u);
+  EXPECT_EQ(ivals[0], (PresenceInterval{2, 6}));
+  EXPECT_EQ(ivals[1], (PresenceInterval{8, 9}));
+  EXPECT_TRUE(tvg.present(0, 1, 5));
+  EXPECT_TRUE(tvg.present(1, 0, 5));  // undirected
+  EXPECT_FALSE(tvg.present(0, 1, 6));
+  EXPECT_FALSE(tvg.present(0, 2, 5));
+}
+
+TEST(Tvg, AdjacentIntervalsMergeToo) {
+  Tvg tvg(2, 10);
+  tvg.add_presence(0, 1, 0, 3);
+  tvg.add_presence(0, 1, 3, 5);
+  ASSERT_EQ(tvg.presence_of(0, 1).size(), 1u);
+  EXPECT_EQ(tvg.presence_of(0, 1)[0], (PresenceInterval{0, 5}));
+}
+
+TEST(Tvg, RejectsBadIntervals) {
+  Tvg tvg(2, 10);
+  EXPECT_THROW(tvg.add_presence(0, 1, 4, 4), PreconditionError);
+  EXPECT_THROW(tvg.add_presence(0, 1, 4, 11), PreconditionError);
+  EXPECT_THROW(tvg.add_presence(0, 0, 1, 2), PreconditionError);
+}
+
+TEST(Tvg, SnapshotMatchesPresence) {
+  Tvg tvg(3, 5);
+  tvg.add_presence(0, 1, 0, 2);
+  tvg.add_presence(1, 2, 1, 5);
+  const Graph s0 = tvg.snapshot(0);
+  EXPECT_TRUE(s0.has_edge(0, 1));
+  EXPECT_FALSE(s0.has_edge(1, 2));
+  const Graph s1 = tvg.snapshot(1);
+  EXPECT_TRUE(s1.has_edge(0, 1));
+  EXPECT_TRUE(s1.has_edge(1, 2));
+  const Graph s3 = tvg.snapshot(3);
+  EXPECT_FALSE(s3.has_edge(0, 1));
+}
+
+TEST(Tvg, SequenceRoundTrip) {
+  AdversaryConfig cfg;
+  cfg.nodes = 12;
+  cfg.interval = 3;
+  cfg.rounds = 9;
+  cfg.churn_edges = 4;
+  cfg.seed = 6;
+  GraphSequence seq = make_t_interval_trace(cfg);
+  Tvg tvg = Tvg::from_sequence(seq, 9);
+  GraphSequence back = tvg.to_sequence();
+  ASSERT_EQ(back.round_count(), 9u);
+  for (Round r = 0; r < 9; ++r) {
+    EXPECT_TRUE(back.graph_at(r) == seq.graph_at(r)) << "round " << r;
+  }
+}
+
+TEST(Tvg, ForemostArrivalWaitsForEdges) {
+  // 0-1 present early, 1-2 only later: the journey must wait at node 1.
+  Tvg tvg(3, 10);
+  tvg.add_presence(0, 1, 0, 2);
+  tvg.add_presence(1, 2, 5, 7);
+  const auto arrival = tvg.foremost_arrival(0, 0);
+  EXPECT_EQ(arrival[0], 0u);
+  EXPECT_EQ(arrival[1], 1u);
+  EXPECT_EQ(arrival[2], 6u);  // departs at 5, unit latency
+}
+
+TEST(Tvg, JourneysAreTimeRespecting) {
+  // 1-2 exists only BEFORE 0-1 appears: 2 must be unreachable from 0.
+  Tvg tvg(3, 10);
+  tvg.add_presence(1, 2, 0, 2);
+  tvg.add_presence(0, 1, 5, 7);
+  const auto arrival = tvg.foremost_arrival(0, 0);
+  EXPECT_EQ(arrival[1], 6u);
+  EXPECT_EQ(arrival[2], Tvg::kUnreachable);
+  EXPECT_FALSE(tvg.reachable(0, 2, 0));
+  EXPECT_TRUE(tvg.reachable(1, 2, 0));
+}
+
+TEST(Tvg, LatencyMustFitInsidePresence) {
+  Tvg tvg(2, 10);
+  tvg.add_presence(0, 1, 0, 3);
+  tvg.set_latency([](const Edge&, Round) { return std::size_t{5}; });
+  // Crossing takes 5 rounds but the edge lives only 3: no journey.
+  EXPECT_FALSE(tvg.reachable(0, 1, 0));
+  tvg.add_presence(0, 1, 3, 9);  // merged into [0, 9): crossing now fits
+  EXPECT_TRUE(tvg.reachable(0, 1, 0));
+  EXPECT_EQ(tvg.foremost_arrival(0, 0)[1], 5u);
+}
+
+TEST(Tvg, StartTimeShiftsJourneys) {
+  Tvg tvg(2, 10);
+  tvg.add_presence(0, 1, 2, 4);
+  EXPECT_TRUE(tvg.reachable(0, 1, 0));
+  EXPECT_TRUE(tvg.reachable(0, 1, 3));
+  EXPECT_FALSE(tvg.reachable(0, 1, 4));  // edge already gone
+}
+
+TEST(Tvg, TemporalEccentricityAndDiameter) {
+  // Static path 0-1-2 for the whole lifetime.
+  Tvg tvg(3, 10);
+  tvg.add_presence(0, 1, 0, 10);
+  tvg.add_presence(1, 2, 0, 10);
+  EXPECT_EQ(tvg.temporal_eccentricity(0, 0), std::optional<Round>(2));
+  EXPECT_EQ(tvg.temporal_eccentricity(1, 0), std::optional<Round>(1));
+  EXPECT_EQ(tvg.temporal_diameter(0), std::optional<Round>(2));
+}
+
+TEST(Tvg, TemporalDiameterUnreachableIsNullopt) {
+  Tvg tvg(3, 5);
+  tvg.add_presence(0, 1, 0, 5);
+  EXPECT_EQ(tvg.temporal_diameter(0), std::nullopt);
+}
+
+TEST(CausalArrival, OneHopPerRound) {
+  StaticNetwork net(gen::path(4));
+  const auto arrival = causal_arrival(net, 0, 0, 10);
+  EXPECT_EQ(arrival[0], 0u);
+  EXPECT_EQ(arrival[1], 1u);
+  EXPECT_EQ(arrival[2], 2u);
+  EXPECT_EQ(arrival[3], 3u);
+}
+
+TEST(CausalArrival, HorizonLimits) {
+  StaticNetwork net(gen::path(4));
+  const auto arrival = causal_arrival(net, 0, 0, 2);
+  EXPECT_EQ(arrival[2], 2u);
+  EXPECT_EQ(arrival[3], kNeverReached);
+}
+
+TEST(CausalArrival, UsesTheRoundGraphs) {
+  // Edge 0-1 only in round 0; edge 1-2 only in round 1.
+  std::vector<Graph> rounds;
+  rounds.push_back(Graph(3, {{0, 1}}));
+  rounds.push_back(Graph(3, {{1, 2}}));
+  rounds.push_back(Graph(3));
+  GraphSequence net(std::move(rounds));
+  const auto arrival = causal_arrival(net, 0, 0, 3);
+  EXPECT_EQ(arrival[1], 1u);
+  EXPECT_EQ(arrival[2], 2u);
+  // Starting at round 1, the 0-1 edge is already gone.
+  const auto late = causal_arrival(net, 0, 1, 2);
+  EXPECT_EQ(late[1], kNeverReached);
+}
+
+TEST(DynamicDiameter, StaticGraphMatchesDiameter) {
+  std::vector<Graph> rounds(8, gen::path(5));
+  GraphSequence net(std::move(rounds));
+  EXPECT_EQ(dynamic_diameter(net, 8), std::optional<std::size_t>(4));
+}
+
+TEST(DynamicDiameter, SingleNodeIsZero) {
+  StaticNetwork net(Graph(1));
+  EXPECT_EQ(dynamic_diameter(net, 3), std::optional<std::size_t>(0));
+}
+
+TEST(DynamicDiameter, DisconnectedTraceHasNone) {
+  StaticNetwork net(Graph(3));
+  EXPECT_EQ(dynamic_diameter(net, 5), std::nullopt);
+}
+
+TEST(DynamicDiameter, DynamicsCanBeatStaticDiameter) {
+  // Alternating stars centred at 0: any node reaches all others within 2
+  // rounds even though each snapshot is a star (diameter 2).  The dynamic
+  // diameter of a 1-interval connected trace is at most n-1 (O'Dell &
+  // Wattenhofer); here it should be small.
+  std::vector<Graph> rounds(10, gen::star(6));
+  GraphSequence net(std::move(rounds));
+  const auto d = dynamic_diameter(net, 10);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 2u);
+}
+
+TEST(DynamicDiameter, AdversarialTraceBoundedByNMinusOne) {
+  AdversaryConfig cfg;
+  cfg.nodes = 10;
+  cfg.interval = 1;
+  cfg.rounds = 30;
+  cfg.churn_edges = 0;
+  cfg.seed = 4;
+  GraphSequence net = make_t_interval_trace(cfg);
+  const auto d = dynamic_diameter(net, 30);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(*d, 9u);  // n-1 bound for 1-interval connected traces
+}
+
+}  // namespace
+}  // namespace hinet

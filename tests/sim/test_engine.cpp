@@ -1,0 +1,243 @@
+// Engine semantics tests, using a tiny scripted process.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/trace.hpp"
+
+namespace hinet {
+namespace {
+
+/// Broadcasts its whole set every round; unions everything heard.
+class EchoProcess final : public Process {
+ public:
+  EchoProcess(NodeId self, TokenSet initial, std::size_t quiet_after = kNever)
+      : self_(self), ta_(std::move(initial)), quiet_after_(quiet_after) {}
+
+  std::optional<Packet> transmit(const RoundContext& ctx) override {
+    ++transmissions_;
+    if (ctx.round >= quiet_after_ || ta_.empty()) return std::nullopt;
+    Packet pkt;
+    pkt.src = self_;
+    pkt.tokens = ta_;
+    return pkt;
+  }
+
+  void receive(const RoundContext&, std::span<const Packet> inbox) override {
+    last_inbox_senders_.clear();
+    for (const Packet& pkt : inbox) {
+      last_inbox_senders_.push_back(pkt.src);
+      ta_.unite(pkt.tokens);
+    }
+  }
+
+  const TokenSet& knowledge() const override { return ta_; }
+
+  std::size_t transmissions() const { return transmissions_; }
+  const std::vector<NodeId>& last_inbox_senders() const {
+    return last_inbox_senders_;
+  }
+
+ private:
+  NodeId self_;
+  TokenSet ta_;
+  std::size_t quiet_after_;
+  std::size_t transmissions_ = 0;
+  std::vector<NodeId> last_inbox_senders_;
+};
+
+std::vector<ProcessPtr> echo_processes(std::size_t n, std::size_t k,
+                                       NodeId token_holder) {
+  std::vector<ProcessPtr> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    TokenSet init(k);
+    if (v == token_holder) {
+      for (TokenId t = 0; t < k; ++t) init.insert(t);
+    }
+    ps.push_back(std::make_unique<EchoProcess>(v, std::move(init)));
+  }
+  return ps;
+}
+
+TEST(Engine, FloodsAcrossAPathInDiameterRounds) {
+  StaticNetwork net(gen::path(5));
+  Engine engine(net, nullptr, echo_processes(5, 2, 0));
+  const SimMetrics m = engine.run({.max_rounds = 10, .stop_when_complete = true});
+  EXPECT_TRUE(m.all_delivered);
+  EXPECT_EQ(m.rounds_to_completion, 4u);  // distance 0 -> 4
+  EXPECT_EQ(m.rounds_executed, 4u);
+}
+
+TEST(Engine, StopWhenCompleteFalseRunsFullBudget) {
+  StaticNetwork net(gen::path(3));
+  Engine engine(net, nullptr, echo_processes(3, 1, 0));
+  const SimMetrics m =
+      engine.run({.max_rounds = 7, .stop_when_complete = false});
+  EXPECT_TRUE(m.all_delivered);
+  EXPECT_EQ(m.rounds_to_completion, 2u);
+  EXPECT_EQ(m.rounds_executed, 7u);
+}
+
+TEST(Engine, CountsTokensPerTransmissionNotPerReceiver) {
+  // A star: the hub's broadcast reaches 3 nodes but costs its own size
+  // once.
+  StaticNetwork net(gen::star(4));
+  Engine engine(net, nullptr, echo_processes(4, 2, 0));
+  const SimMetrics m = engine.run({.max_rounds = 1, .stop_when_complete = true});
+  // Round 0: only the hub holds tokens; one packet of 2 tokens.
+  EXPECT_EQ(m.packets_sent, 1u);
+  EXPECT_EQ(m.tokens_sent, 2u);
+}
+
+TEST(Engine, DeliveryRespectsRoundGraph) {
+  // Dynamic: round 0 only edge 0-1, round 1 only edge 1-2.
+  std::vector<Graph> rounds;
+  rounds.push_back(Graph(3, {{0, 1}}));
+  rounds.push_back(Graph(3, {{1, 2}}));
+  GraphSequence net(std::move(rounds));
+  Engine engine(net, nullptr, echo_processes(3, 1, 0));
+  const SimMetrics m = engine.run({.max_rounds = 5, .stop_when_complete = true});
+  EXPECT_TRUE(m.all_delivered);
+  EXPECT_EQ(m.rounds_to_completion, 2u);
+}
+
+TEST(Engine, NoSelfDelivery) {
+  StaticNetwork net(gen::complete(2));
+  std::vector<ProcessPtr> ps = echo_processes(2, 1, 0);
+  auto* p0 = static_cast<EchoProcess*>(ps[0].get());
+  Engine engine(net, nullptr, std::move(ps));
+  engine.run({.max_rounds = 1, .stop_when_complete = false});
+  // Node 0 transmitted but must not hear itself.
+  EXPECT_TRUE(p0->last_inbox_senders().empty());
+}
+
+TEST(Engine, InboxOrderedBySenderId) {
+  StaticNetwork net(gen::complete(4));
+  std::vector<ProcessPtr> ps;
+  for (NodeId v = 0; v < 4; ++v) {
+    TokenSet init(4);
+    init.insert(v);  // everyone holds one token -> everyone transmits
+    ps.push_back(std::make_unique<EchoProcess>(v, std::move(init)));
+  }
+  auto* p3 = static_cast<EchoProcess*>(ps[3].get());
+  Engine engine(net, nullptr, std::move(ps));
+  engine.run({.max_rounds = 1, .stop_when_complete = false});
+  EXPECT_EQ(p3->last_inbox_senders(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Engine, PerRoundSeriesRecorded) {
+  StaticNetwork net(gen::path(3));
+  Engine engine(net, nullptr, echo_processes(3, 1, 0));
+  const SimMetrics m =
+      engine.run({.max_rounds = 4, .stop_when_complete = false});
+  ASSERT_EQ(m.tokens_sent_per_round.size(), 4u);
+  ASSERT_EQ(m.complete_nodes_per_round.size(), 4u);
+  EXPECT_EQ(m.complete_nodes_per_round[0], 2u);  // holder + neighbour
+  EXPECT_EQ(m.complete_nodes_per_round[1], 3u);
+}
+
+TEST(Engine, NeverDeliversWhenDisconnected) {
+  StaticNetwork net(Graph(3));  // no edges ever
+  Engine engine(net, nullptr, echo_processes(3, 1, 0));
+  const SimMetrics m = engine.run({.max_rounds = 5, .stop_when_complete = true});
+  EXPECT_FALSE(m.all_delivered);
+  EXPECT_EQ(m.rounds_to_completion, kNever);
+  EXPECT_EQ(m.rounds_executed, 5u);
+}
+
+TEST(Engine, ObserverSeesEveryRound) {
+  StaticNetwork net(gen::path(3));
+  Engine engine(net, nullptr, echo_processes(3, 1, 0));
+  TraceRecorder rec;
+  engine.set_observer(rec.observer());
+  engine.run({.max_rounds = 3, .stop_when_complete = false});
+  ASSERT_EQ(rec.rounds().size(), 3u);
+  EXPECT_EQ(rec.rounds()[0].packets.size(), 1u);
+  EXPECT_EQ(rec.rounds()[0].packets[0].src, 0u);
+  const std::string rendered = rec.render();
+  EXPECT_NE(rendered.find("round 0:"), std::string::npos);
+  EXPECT_NE(rendered.find("0 -> *"), std::string::npos);
+}
+
+TEST(Engine, RunIsSingleShot) {
+  StaticNetwork net(gen::path(2));
+  Engine engine(net, nullptr, echo_processes(2, 1, 0));
+  engine.run({.max_rounds = 1, .stop_when_complete = true});
+  EXPECT_THROW(engine.run({.max_rounds = 1, .stop_when_complete = true}),
+               PreconditionError);
+}
+
+TEST(Engine, RejectsWrongProcessCount) {
+  StaticNetwork net(gen::path(3));
+  EXPECT_THROW(Engine(net, nullptr, echo_processes(2, 1, 0)),
+               PreconditionError);
+}
+
+TEST(Engine, RejectsMismatchedUniverses) {
+  StaticNetwork net(gen::path(2));
+  std::vector<ProcessPtr> ps;
+  ps.push_back(std::make_unique<EchoProcess>(0, TokenSet(2)));
+  ps.push_back(std::make_unique<EchoProcess>(1, TokenSet(3)));
+  EXPECT_THROW(Engine(net, nullptr, std::move(ps)), PreconditionError);
+}
+
+TEST(Engine, HierarchyIsVisibleToProcesses) {
+  /// A process that asserts its role matches the provided hierarchy.
+  class RoleCheckProcess final : public Process {
+   public:
+    RoleCheckProcess(NodeId self, NodeRole expected)
+        : self_(self), expected_(expected), ta_(1) {}
+    std::optional<Packet> transmit(const RoundContext& ctx) override {
+      EXPECT_EQ(ctx.role(), expected_) << "node " << self_;
+      return std::nullopt;
+    }
+    void receive(const RoundContext&, std::span<const Packet>) override {}
+    const TokenSet& knowledge() const override { return ta_; }
+
+   private:
+    NodeId self_;
+    NodeRole expected_;
+    TokenSet ta_;
+  };
+
+  StaticNetwork net(gen::star(3));
+  HierarchyView h(3);
+  h.set_head(0);
+  h.set_member(1, 0);
+  h.set_member(2, 0, true);
+  HierarchySequence hier({h});
+  std::vector<ProcessPtr> ps;
+  ps.push_back(std::make_unique<RoleCheckProcess>(0, NodeRole::kHead));
+  ps.push_back(std::make_unique<RoleCheckProcess>(1, NodeRole::kMember));
+  ps.push_back(std::make_unique<RoleCheckProcess>(2, NodeRole::kGateway));
+  Engine engine(net, &hier, std::move(ps));
+  const SimMetrics m = engine.run({.max_rounds = 2, .stop_when_complete = false});
+  EXPECT_EQ(m.packets_sent, 0u);
+}
+
+TEST(Engine, FlatViewWhenNoHierarchy) {
+  class FlatCheckProcess final : public Process {
+   public:
+    explicit FlatCheckProcess(NodeId) : ta_(1) {}
+    std::optional<Packet> transmit(const RoundContext& ctx) override {
+      EXPECT_EQ(ctx.role(), NodeRole::kMember);
+      EXPECT_EQ(ctx.cluster(), kNoCluster);
+      return std::nullopt;
+    }
+    void receive(const RoundContext&, std::span<const Packet>) override {}
+    const TokenSet& knowledge() const override { return ta_; }
+
+   private:
+    TokenSet ta_;
+  };
+  StaticNetwork net(gen::path(2));
+  std::vector<ProcessPtr> ps;
+  ps.push_back(std::make_unique<FlatCheckProcess>(0));
+  ps.push_back(std::make_unique<FlatCheckProcess>(1));
+  Engine engine(net, nullptr, std::move(ps));
+  engine.run({.max_rounds = 1, .stop_when_complete = false});
+}
+
+}  // namespace
+}  // namespace hinet

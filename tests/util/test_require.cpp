@@ -1,0 +1,80 @@
+// Contract macros and TokenSet raw-word access.
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "util/token_set.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(Require, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(HINET_REQUIRE(1 + 1 == 2, "math"));
+  EXPECT_NO_THROW(HINET_ENSURE(true, ""));
+}
+
+TEST(Require, FailureThrowsTypedExceptionWithContext) {
+  try {
+    HINET_REQUIRE(2 < 1, "expected order");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("expected order"), std::string::npos);
+    EXPECT_NE(what.find("test_require.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, EnsureThrowsInvariantError) {
+  EXPECT_THROW(HINET_ENSURE(false, "broken"), InvariantError);
+  // InvariantError and PreconditionError are distinct types.
+  EXPECT_THROW(
+      {
+        try {
+          HINET_ENSURE(false, "x");
+        } catch (const PreconditionError&) {
+          FAIL() << "wrong exception type";
+        }
+      },
+      InvariantError);
+}
+
+TEST(Require, MacroIsStatementSafe) {
+  // Must compose with if/else without braces.
+  if (true)
+    HINET_REQUIRE(true, "");
+  else
+    HINET_REQUIRE(true, "");
+  SUCCEED();
+}
+
+TEST(TokenSetWords, RawViewMatchesMembership) {
+  TokenSet s(130, {0, 63, 64, 129});
+  const auto w = s.words();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], (1ULL << 0) | (1ULL << 63));
+  EXPECT_EQ(w[1], 1ULL << 0);
+  EXPECT_EQ(w[2], 1ULL << 1);
+}
+
+TEST(TokenSetWords, FromWordsRoundTrip) {
+  TokenSet s(100, {3, 77, 99});
+  const auto w = s.words();
+  const TokenSet back =
+      TokenSet::from_words(100, {w.begin(), w.end()});
+  EXPECT_EQ(back, s);
+}
+
+TEST(TokenSetWords, FromWordsMasksTailBits) {
+  // Universe 10 needs one word; set bits beyond bit 9 must be dropped.
+  const TokenSet s = TokenSet::from_words(10, {~0ULL});
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_TRUE(s.full());
+}
+
+TEST(TokenSetWords, FromWordsWrongWidthThrows) {
+  EXPECT_THROW(TokenSet::from_words(100, {0ULL}), PreconditionError);
+  EXPECT_THROW(TokenSet::from_words(10, {0ULL, 0ULL}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hinet

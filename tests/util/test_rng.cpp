@@ -1,0 +1,199 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hinet {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng a(0);
+  // SplitMix expansion must avoid the all-zero xoshiro state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowCoversFullRange) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntInvertedRangeThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsRoughlyHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleSmallVectorsNoop) {
+  Rng rng(31);
+  std::vector<int> empty;
+  std::vector<int> one{42};
+  rng.shuffle(empty);
+  rng.shuffle(one);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SampleDistinctAndInRange) {
+  Rng rng(37);
+  const auto s = rng.sample(10, 6);
+  EXPECT_EQ(s.size(), 6u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 6u);
+  for (auto x : s) EXPECT_LT(x, 10u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(41);
+  const auto s = rng.sample(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleTooLargeThrows) {
+  Rng rng(41);
+  EXPECT_THROW(rng.sample(3, 4), PreconditionError);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), PreconditionError);
+}
+
+TEST(Rng, ForkDecorrelatesFromParent) {
+  Rng parent(55);
+  Rng child = parent.fork();
+  // Child and parent streams should differ immediately.
+  EXPECT_NE(parent(), child());
+}
+
+TEST(Rng, ForksFromSameStateAreReproducible) {
+  Rng a(55);
+  Rng b(55);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca(), cb());
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.mean(), 3.5);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 3.5);
+  EXPECT_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, NumericallyStableForLargeOffsets) {
+  Accumulator a;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) a.add(x);
+  EXPECT_NEAR(a.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(a.variance(), 1.0, 1e-6);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.3), 7.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  std::vector<double> v;
+  EXPECT_THROW(percentile_sorted(v, 0.5), PreconditionError);
+}
+
+TEST(Percentile, OutOfRangeQThrows) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(percentile_sorted(v, -0.1), PreconditionError);
+  EXPECT_THROW(percentile_sorted(v, 1.1), PreconditionError);
+}
+
+TEST(Summarize, EmptySampleGivesZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const Summary s = summarize({5.0, 1.0, 3.0});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Summarize, MatchesAccumulatorOnRandomData) {
+  Rng rng(77);
+  std::vector<double> samples;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_real(-10.0, 10.0);
+    samples.push_back(x);
+    acc.add(x);
+  }
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, acc.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev, acc.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, acc.min());
+  EXPECT_DOUBLE_EQ(s.max, acc.max());
+}
+
+TEST(Summary, ToStringMentionsFields) {
+  const Summary s = summarize({1.0, 2.0});
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("p95="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hinet

@@ -1,0 +1,227 @@
+#include "util/token_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(TokenSet, StartsEmpty) {
+  TokenSet s(10);
+  EXPECT_EQ(s.universe(), 10u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.full());
+}
+
+TEST(TokenSet, InitializerList) {
+  TokenSet s(8, {0, 3, 7});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(TokenSet, InsertReportsNovelty) {
+  TokenSet s(4);
+  EXPECT_TRUE(s.insert(2));
+  EXPECT_FALSE(s.insert(2));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(TokenSet, EraseReportsPresence) {
+  TokenSet s(4, {1});
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TokenSet, OutOfUniverseThrows) {
+  TokenSet s(4);
+  EXPECT_THROW(s.insert(4), PreconditionError);
+  EXPECT_THROW(s.contains(100), PreconditionError);
+}
+
+TEST(TokenSet, FullDetection) {
+  TokenSet s(3, {0, 1, 2});
+  EXPECT_TRUE(s.full());
+  s.erase(1);
+  EXPECT_FALSE(s.full());
+}
+
+TEST(TokenSet, ClearEmpties) {
+  TokenSet s(70, {0, 69});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TokenSet, UniteCountsNewTokens) {
+  TokenSet a(8, {0, 1});
+  TokenSet b(8, {1, 2, 3});
+  EXPECT_EQ(a.unite(b), 2u);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.unite(b), 0u);
+}
+
+TEST(TokenSet, UniteUniverseMismatchThrows) {
+  TokenSet a(8);
+  TokenSet b(9);
+  EXPECT_THROW(a.unite(b), PreconditionError);
+}
+
+TEST(TokenSet, SubtractAndIntersect) {
+  TokenSet a(8, {0, 1, 2, 3});
+  TokenSet b(8, {2, 3, 4});
+  TokenSet c = a;
+  c.subtract(b);
+  EXPECT_EQ(c, TokenSet(8, {0, 1}));
+  TokenSet d = a;
+  d.intersect(b);
+  EXPECT_EQ(d, TokenSet(8, {2, 3}));
+}
+
+TEST(TokenSet, SubsetOf) {
+  TokenSet a(8, {1, 2});
+  TokenSet b(8, {0, 1, 2, 5});
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_TRUE(TokenSet(8).subset_of(a));
+}
+
+TEST(TokenSet, MinDiffImplementsHeadRule) {
+  // Algorithm 1 head rule: t <- min(TA \ TS).
+  TokenSet ta(8, {1, 4, 6});
+  TokenSet ts(8, {1});
+  EXPECT_EQ(ta.min_diff(ts), std::optional<TokenId>(4));
+  ts.insert(4);
+  EXPECT_EQ(ta.min_diff(ts), std::optional<TokenId>(6));
+  ts.insert(6);
+  EXPECT_EQ(ta.min_diff(ts), std::nullopt);
+}
+
+TEST(TokenSet, MaxDiffImplementsMemberRule) {
+  // Algorithm 1 member rule: t <- max(TA \ (TS ∪ TR)).
+  TokenSet ta(8, {0, 3, 5});
+  TokenSet ts(8, {5});
+  TokenSet tr(8, {0});
+  EXPECT_EQ(ta.max_diff(ts, tr), std::optional<TokenId>(3));
+  tr.insert(3);
+  EXPECT_EQ(ta.max_diff(ts, tr), std::nullopt);
+}
+
+TEST(TokenSet, MaxDiffSingleArgument) {
+  TokenSet ta(8, {0, 3, 5});
+  TokenSet ts(8, {5});
+  EXPECT_EQ(ta.max_diff(ts), std::optional<TokenId>(3));
+}
+
+TEST(TokenSet, MinMaxElements) {
+  TokenSet s(130, {5, 64, 129});
+  EXPECT_EQ(s.min_element(), std::optional<TokenId>(5));
+  EXPECT_EQ(s.max_element(), std::optional<TokenId>(129));
+  EXPECT_EQ(TokenSet(4).min_element(), std::nullopt);
+  EXPECT_EQ(TokenSet(4).max_element(), std::nullopt);
+}
+
+TEST(TokenSet, CrossWordBoundaries) {
+  TokenSet s(200);
+  for (TokenId t : {63u, 64u, 127u, 128u, 199u}) s.insert(t);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(199));
+  TokenSet empty(200);
+  EXPECT_EQ(s.min_diff(empty), std::optional<TokenId>(63));
+  EXPECT_EQ(s.max_diff(empty), std::optional<TokenId>(199));
+}
+
+TEST(TokenSet, ToVectorSortedAscending) {
+  TokenSet s(100, {99, 0, 50});
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 50u);
+  EXPECT_EQ(v[2], 99u);
+}
+
+TEST(TokenSet, ToStringFormat) {
+  EXPECT_EQ(TokenSet(8, {0, 3, 7}).to_string(), "{0,3,7}");
+  EXPECT_EQ(TokenSet(8).to_string(), "{}");
+}
+
+TEST(TokenSet, SetUnionValueSemantics) {
+  TokenSet a(8, {0});
+  TokenSet b(8, {7});
+  const TokenSet u = TokenSet::set_union(a, b);
+  EXPECT_EQ(u, TokenSet(8, {0, 7}));
+  EXPECT_EQ(a, TokenSet(8, {0}));  // inputs untouched
+}
+
+TEST(TokenSet, EqualityRequiresSameUniverse) {
+  EXPECT_FALSE(TokenSet(8) == TokenSet(9));
+  EXPECT_TRUE(TokenSet(8) == TokenSet(8));
+}
+
+TEST(TokenSet, ZeroUniverseIsDegenerateButSafe) {
+  TokenSet s(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.full());  // vacuous
+  EXPECT_EQ(s.min_element(), std::nullopt);
+}
+
+// Property sweep: set-algebra identities over random sets.
+class TokenSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenSetProperty, AlgebraIdentities) {
+  Rng rng(GetParam());
+  const std::size_t universe = 1 + rng.below(300);
+  auto random_set = [&] {
+    TokenSet s(universe);
+    const std::size_t fill = rng.below(universe + 1);
+    for (std::size_t i = 0; i < fill; ++i) {
+      s.insert(static_cast<TokenId>(rng.below(universe)));
+    }
+    return s;
+  };
+  const TokenSet a = random_set();
+  const TokenSet b = random_set();
+
+  // |A ∪ B| = |A| + |B \ A|
+  TokenSet u = a;
+  const std::size_t added = u.unite(b);
+  TokenSet b_minus_a = b;
+  b_minus_a.subtract(a);
+  EXPECT_EQ(added, b_minus_a.count());
+  EXPECT_EQ(u.count(), a.count() + b_minus_a.count());
+
+  // A \ B and A ∩ B partition A.
+  TokenSet diff = a;
+  diff.subtract(b);
+  TokenSet inter = a;
+  inter.intersect(b);
+  EXPECT_EQ(diff.count() + inter.count(), a.count());
+
+  // min/max of difference agree with the vector view.
+  TokenSet empty(universe);
+  const auto vec = a.to_vector();
+  if (vec.empty()) {
+    EXPECT_EQ(a.min_diff(empty), std::nullopt);
+  } else {
+    EXPECT_EQ(a.min_diff(empty), std::optional<TokenId>(vec.front()));
+    EXPECT_EQ(a.max_diff(empty), std::optional<TokenId>(vec.back()));
+  }
+
+  // subset relations.
+  EXPECT_TRUE(inter.subset_of(a));
+  EXPECT_TRUE(inter.subset_of(b));
+  EXPECT_TRUE(a.subset_of(u));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSetProperty,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace hinet

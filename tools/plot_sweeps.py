@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs of the sweep benches.
+
+Usage:
+    build/bench/sweep_n --csv=v1.csv
+    tools/plot_sweeps.py v1.csv --x=n0 --y=comm_meas --series=model --out=v1.svg
+
+Requires matplotlib (optional dependency; everything in the repo works
+without it — this script only re-plots the CSVs the benches emit).
+"""
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv_path")
+    ap.add_argument("--x", required=True, help="column for the x axis")
+    ap.add_argument("--y", required=True, help="column for the y axis")
+    ap.add_argument("--series", default=None,
+                    help="column whose values become separate lines")
+    ap.add_argument("--logy", action="store_true")
+    ap.add_argument("--out", default=None, help="output image (default: show)")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        if args.out:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required for plotting", file=sys.stderr)
+        return 1
+
+    series = defaultdict(lambda: ([], []))
+    with open(args.csv_path, newline="") as f:
+        for row in csv.DictReader(f):
+            key = row[args.series] if args.series else args.y
+            xs, ys = series[key]
+            xs.append(float(row[args.x]))
+            ys.append(float(row[args.y]))
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, (xs, ys) in sorted(series.items()):
+        order = sorted(range(len(xs)), key=xs.__getitem__)
+        ax.plot([xs[i] for i in order], [ys[i] for i in order],
+                marker="o", label=name)
+    ax.set_xlabel(args.x)
+    ax.set_ylabel(args.y)
+    if args.logy:
+        ax.set_yscale("log")
+    if args.series:
+        ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if args.out:
+        fig.savefig(args.out, dpi=150)
+        print(f"wrote {args.out}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
