@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coding"
+  "../bench/ablation_coding.pdb"
+  "CMakeFiles/ablation_coding.dir/ablation_coding.cpp.o"
+  "CMakeFiles/ablation_coding.dir/ablation_coding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dhop"
+  "../bench/ablation_dhop.pdb"
+  "CMakeFiles/ablation_dhop.dir/ablation_dhop.cpp.o"
+  "CMakeFiles/ablation_dhop.dir/ablation_dhop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dhop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_emdg"
+  "../bench/ablation_emdg.pdb"
+  "CMakeFiles/ablation_emdg.dir/ablation_emdg.cpp.o"
+  "CMakeFiles/ablation_emdg.dir/ablation_emdg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_quiescence"
+  "../bench/ablation_quiescence.pdb"
+  "CMakeFiles/ablation_quiescence.dir/ablation_quiescence.cpp.o"
+  "CMakeFiles/ablation_quiescence.dir/ablation_quiescence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bounds_audit"
+  "../bench/bounds_audit.pdb"
+  "CMakeFiles/bounds_audit.dir/bounds_audit.cpp.o"
+  "CMakeFiles/bounds_audit.dir/bounds_audit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

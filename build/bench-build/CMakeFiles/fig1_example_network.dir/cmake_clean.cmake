@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_example_network"
+  "../bench/fig1_example_network.pdb"
+  "CMakeFiles/fig1_example_network.dir/fig1_example_network.cpp.o"
+  "CMakeFiles/fig1_example_network.dir/fig1_example_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_definition_tree"
+  "../bench/fig2_definition_tree.pdb"
+  "CMakeFiles/fig2_definition_tree.dir/fig2_definition_tree.cpp.o"
+  "CMakeFiles/fig2_definition_tree.dir/fig2_definition_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_definition_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/full_report"
+  "../bench/full_report.pdb"
+  "CMakeFiles/full_report.dir/full_report.cpp.o"
+  "CMakeFiles/full_report.dir/full_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

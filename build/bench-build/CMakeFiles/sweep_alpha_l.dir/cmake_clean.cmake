@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_alpha_l"
+  "../bench/sweep_alpha_l.pdb"
+  "CMakeFiles/sweep_alpha_l.dir/sweep_alpha_l.cpp.o"
+  "CMakeFiles/sweep_alpha_l.dir/sweep_alpha_l.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_alpha_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_energy"
+  "../bench/sweep_energy.pdb"
+  "CMakeFiles/sweep_energy.dir/sweep_energy.cpp.o"
+  "CMakeFiles/sweep_energy.dir/sweep_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

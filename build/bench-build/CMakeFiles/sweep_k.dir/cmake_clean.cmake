@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_k"
+  "../bench/sweep_k.pdb"
+  "CMakeFiles/sweep_k.dir/sweep_k.cpp.o"
+  "CMakeFiles/sweep_k.dir/sweep_k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

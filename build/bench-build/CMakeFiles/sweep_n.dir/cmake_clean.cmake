@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_n"
+  "../bench/sweep_n.pdb"
+  "CMakeFiles/sweep_n.dir/sweep_n.cpp.o"
+  "CMakeFiles/sweep_n.dir/sweep_n.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sweep_reaffiliation.cpp" "bench-build/CMakeFiles/sweep_reaffiliation.dir/sweep_reaffiliation.cpp.o" "gcc" "bench-build/CMakeFiles/sweep_reaffiliation.dir/sweep_reaffiliation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hinet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hinet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hinet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hinet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hinet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hinet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

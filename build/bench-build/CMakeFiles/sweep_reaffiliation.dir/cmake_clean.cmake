@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_reaffiliation"
+  "../bench/sweep_reaffiliation.pdb"
+  "CMakeFiles/sweep_reaffiliation.dir/sweep_reaffiliation.cpp.o"
+  "CMakeFiles/sweep_reaffiliation.dir/sweep_reaffiliation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_reaffiliation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_robustness"
+  "../bench/sweep_robustness.pdb"
+  "CMakeFiles/sweep_robustness.dir/sweep_robustness.cpp.o"
+  "CMakeFiles/sweep_robustness.dir/sweep_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

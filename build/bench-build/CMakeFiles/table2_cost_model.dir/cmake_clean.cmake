@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_cost_model"
+  "../bench/table2_cost_model.pdb"
+  "CMakeFiles/table2_cost_model.dir/table2_cost_model.cpp.o"
+  "CMakeFiles/table2_cost_model.dir/table2_cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

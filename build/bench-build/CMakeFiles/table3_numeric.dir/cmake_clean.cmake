@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_numeric"
+  "../bench/table3_numeric.pdb"
+  "CMakeFiles/table3_numeric.dir/table3_numeric.cpp.o"
+  "CMakeFiles/table3_numeric.dir/table3_numeric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adversarial_stress"
+  "../examples/adversarial_stress.pdb"
+  "CMakeFiles/adversarial_stress.dir/adversarial_stress.cpp.o"
+  "CMakeFiles/adversarial_stress.dir/adversarial_stress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mobile_adhoc"
+  "../examples/mobile_adhoc.pdb"
+  "CMakeFiles/mobile_adhoc.dir/mobile_adhoc.cpp.o"
+  "CMakeFiles/mobile_adhoc.dir/mobile_adhoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

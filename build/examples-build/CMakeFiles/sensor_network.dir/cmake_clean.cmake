@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sensor_network"
+  "../examples/sensor_network.pdb"
+  "CMakeFiles/sensor_network.dir/sensor_network.cpp.o"
+  "CMakeFiles/sensor_network.dir/sensor_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke.quickstart "/root/repo/build/examples/quickstart" "--nodes=30" "--heads=4" "--k=3")
+set_tests_properties(smoke.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.mobile_adhoc "/root/repo/build/examples/mobile_adhoc" "--nodes=24" "--k=3")
+set_tests_properties(smoke.mobile_adhoc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.mobile_adhoc_manhattan "/root/repo/build/examples/mobile_adhoc" "--nodes=24" "--k=3" "--model=manhattan")
+set_tests_properties(smoke.mobile_adhoc_manhattan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.sensor_network "/root/repo/build/examples/sensor_network" "--sensors=30" "--heads=4" "--readings=4" "--reps=2")
+set_tests_properties(smoke.sensor_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.adversarial_stress "/root/repo/build/examples/adversarial_stress" "--nodes=16")
+set_tests_properties(smoke.adversarial_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.p2p_overlay "/root/repo/build/examples/p2p_overlay" "--peers=20")
+set_tests_properties(smoke.p2p_overlay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.trace_tool "/root/repo/build/examples/trace_tool" "--mode=generate" "--nodes=16" "--heads=3")
+set_tests_properties(smoke.trace_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_analysis.dir/assignment.cpp.o"
+  "CMakeFiles/hinet_analysis.dir/assignment.cpp.o.d"
+  "CMakeFiles/hinet_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/hinet_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/hinet_analysis.dir/model_estimation.cpp.o"
+  "CMakeFiles/hinet_analysis.dir/model_estimation.cpp.o.d"
+  "CMakeFiles/hinet_analysis.dir/scenarios.cpp.o"
+  "CMakeFiles/hinet_analysis.dir/scenarios.cpp.o.d"
+  "libhinet_analysis.a"
+  "libhinet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

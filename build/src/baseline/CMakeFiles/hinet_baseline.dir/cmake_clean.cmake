@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_baseline.dir/flooding.cpp.o"
+  "CMakeFiles/hinet_baseline.dir/flooding.cpp.o.d"
+  "CMakeFiles/hinet_baseline.dir/gossip.cpp.o"
+  "CMakeFiles/hinet_baseline.dir/gossip.cpp.o.d"
+  "CMakeFiles/hinet_baseline.dir/klo.cpp.o"
+  "CMakeFiles/hinet_baseline.dir/klo.cpp.o.d"
+  "CMakeFiles/hinet_baseline.dir/network_coding.cpp.o"
+  "CMakeFiles/hinet_baseline.dir/network_coding.cpp.o.d"
+  "libhinet_baseline.a"
+  "libhinet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

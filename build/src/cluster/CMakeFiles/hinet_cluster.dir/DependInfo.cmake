@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/algorithms.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/algorithms.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/algorithms.cpp.o.d"
+  "/root/repo/src/cluster/dhop.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/dhop.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/dhop.cpp.o.d"
+  "/root/repo/src/cluster/dot.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/dot.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/dot.cpp.o.d"
+  "/root/repo/src/cluster/hierarchy.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/hierarchy.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cluster/maintenance.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/maintenance.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/maintenance.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/routing.cpp" "src/cluster/CMakeFiles/hinet_cluster.dir/routing.cpp.o" "gcc" "src/cluster/CMakeFiles/hinet_cluster.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hinet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_cluster.dir/algorithms.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/algorithms.cpp.o.d"
+  "CMakeFiles/hinet_cluster.dir/dhop.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/dhop.cpp.o.d"
+  "CMakeFiles/hinet_cluster.dir/dot.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/dot.cpp.o.d"
+  "CMakeFiles/hinet_cluster.dir/hierarchy.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hinet_cluster.dir/maintenance.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/maintenance.cpp.o.d"
+  "CMakeFiles/hinet_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/hinet_cluster.dir/routing.cpp.o"
+  "CMakeFiles/hinet_cluster.dir/routing.cpp.o.d"
+  "libhinet_cluster.a"
+  "libhinet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alg1.cpp" "src/core/CMakeFiles/hinet_core.dir/alg1.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/alg1.cpp.o.d"
+  "/root/repo/src/core/alg2.cpp" "src/core/CMakeFiles/hinet_core.dir/alg2.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/alg2.cpp.o.d"
+  "/root/repo/src/core/alg_dhop.cpp" "src/core/CMakeFiles/hinet_core.dir/alg_dhop.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/alg_dhop.cpp.o.d"
+  "/root/repo/src/core/applications.cpp" "src/core/CMakeFiles/hinet_core.dir/applications.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/applications.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/hinet_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/ctvg.cpp" "src/core/CMakeFiles/hinet_core.dir/ctvg.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/ctvg.cpp.o.d"
+  "/root/repo/src/core/hinet_generator.cpp" "src/core/CMakeFiles/hinet_core.dir/hinet_generator.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/hinet_generator.cpp.o.d"
+  "/root/repo/src/core/hinet_properties.cpp" "src/core/CMakeFiles/hinet_core.dir/hinet_properties.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/hinet_properties.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/hinet_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/hinet_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/hinet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hinet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hinet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hinet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

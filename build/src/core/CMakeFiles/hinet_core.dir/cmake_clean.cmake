@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_core.dir/alg1.cpp.o"
+  "CMakeFiles/hinet_core.dir/alg1.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/alg2.cpp.o"
+  "CMakeFiles/hinet_core.dir/alg2.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/alg_dhop.cpp.o"
+  "CMakeFiles/hinet_core.dir/alg_dhop.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/applications.cpp.o"
+  "CMakeFiles/hinet_core.dir/applications.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/cost_model.cpp.o"
+  "CMakeFiles/hinet_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/ctvg.cpp.o"
+  "CMakeFiles/hinet_core.dir/ctvg.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/hinet_generator.cpp.o"
+  "CMakeFiles/hinet_core.dir/hinet_generator.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/hinet_properties.cpp.o"
+  "CMakeFiles/hinet_core.dir/hinet_properties.cpp.o.d"
+  "CMakeFiles/hinet_core.dir/trace_io.cpp.o"
+  "CMakeFiles/hinet_core.dir/trace_io.cpp.o.d"
+  "libhinet_core.a"
+  "libhinet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

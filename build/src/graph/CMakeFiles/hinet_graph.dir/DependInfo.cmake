@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adversary.cpp" "src/graph/CMakeFiles/hinet_graph.dir/adversary.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/adversary.cpp.o.d"
+  "/root/repo/src/graph/crashes.cpp" "src/graph/CMakeFiles/hinet_graph.dir/crashes.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/crashes.cpp.o.d"
+  "/root/repo/src/graph/dynamic.cpp" "src/graph/CMakeFiles/hinet_graph.dir/dynamic.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/dynamic.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/hinet_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/hinet_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/interval.cpp" "src/graph/CMakeFiles/hinet_graph.dir/interval.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/interval.cpp.o.d"
+  "/root/repo/src/graph/markovian.cpp" "src/graph/CMakeFiles/hinet_graph.dir/markovian.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/markovian.cpp.o.d"
+  "/root/repo/src/graph/mobility.cpp" "src/graph/CMakeFiles/hinet_graph.dir/mobility.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/mobility.cpp.o.d"
+  "/root/repo/src/graph/tvg.cpp" "src/graph/CMakeFiles/hinet_graph.dir/tvg.cpp.o" "gcc" "src/graph/CMakeFiles/hinet_graph.dir/tvg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_graph.dir/adversary.cpp.o"
+  "CMakeFiles/hinet_graph.dir/adversary.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/crashes.cpp.o"
+  "CMakeFiles/hinet_graph.dir/crashes.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/dynamic.cpp.o"
+  "CMakeFiles/hinet_graph.dir/dynamic.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/generators.cpp.o"
+  "CMakeFiles/hinet_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/graph.cpp.o"
+  "CMakeFiles/hinet_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/interval.cpp.o"
+  "CMakeFiles/hinet_graph.dir/interval.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/markovian.cpp.o"
+  "CMakeFiles/hinet_graph.dir/markovian.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/mobility.cpp.o"
+  "CMakeFiles/hinet_graph.dir/mobility.cpp.o.d"
+  "CMakeFiles/hinet_graph.dir/tvg.cpp.o"
+  "CMakeFiles/hinet_graph.dir/tvg.cpp.o.d"
+  "libhinet_graph.a"
+  "libhinet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

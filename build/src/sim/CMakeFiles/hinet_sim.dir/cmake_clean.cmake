@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_sim.dir/channel.cpp.o"
+  "CMakeFiles/hinet_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/hinet_sim.dir/engine.cpp.o"
+  "CMakeFiles/hinet_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hinet_sim.dir/trace.cpp.o"
+  "CMakeFiles/hinet_sim.dir/trace.cpp.o.d"
+  "libhinet_sim.a"
+  "libhinet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhinet_sim.a"
+)

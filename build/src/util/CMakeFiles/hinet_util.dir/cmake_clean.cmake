@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_util.dir/cli.cpp.o"
+  "CMakeFiles/hinet_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hinet_util.dir/csv.cpp.o"
+  "CMakeFiles/hinet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hinet_util.dir/logging.cpp.o"
+  "CMakeFiles/hinet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hinet_util.dir/rng.cpp.o"
+  "CMakeFiles/hinet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hinet_util.dir/stats.cpp.o"
+  "CMakeFiles/hinet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hinet_util.dir/table.cpp.o"
+  "CMakeFiles/hinet_util.dir/table.cpp.o.d"
+  "CMakeFiles/hinet_util.dir/token_set.cpp.o"
+  "CMakeFiles/hinet_util.dir/token_set.cpp.o.d"
+  "libhinet_util.a"
+  "libhinet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_clustering.cpp.o"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_clustering.cpp.o.d"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_dhop.cpp.o"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_dhop.cpp.o.d"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_dot.cpp.o"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_dot.cpp.o.d"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_hierarchy.cpp.o"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_hierarchy.cpp.o.d"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_maintenance.cpp.o"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_maintenance.cpp.o.d"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_routing.cpp.o"
+  "CMakeFiles/hinet_cluster_tests.dir/cluster/test_routing.cpp.o.d"
+  "hinet_cluster_tests"
+  "hinet_cluster_tests.pdb"
+  "hinet_cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

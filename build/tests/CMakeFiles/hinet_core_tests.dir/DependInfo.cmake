@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_alg1.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_alg1.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_alg1.cpp.o.d"
+  "/root/repo/tests/core/test_alg2.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_alg2.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_alg2.cpp.o.d"
+  "/root/repo/tests/core/test_alg_dhop.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_alg_dhop.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_alg_dhop.cpp.o.d"
+  "/root/repo/tests/core/test_applications.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_applications.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_applications.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model_properties.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_cost_model_properties.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_cost_model_properties.cpp.o.d"
+  "/root/repo/tests/core/test_differential.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_differential.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_differential.cpp.o.d"
+  "/root/repo/tests/core/test_edge_cases.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/core/test_hinet_generator.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_hinet_generator.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_hinet_generator.cpp.o.d"
+  "/root/repo/tests/core/test_hinet_properties.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_hinet_properties.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_hinet_properties.cpp.o.d"
+  "/root/repo/tests/core/test_lemma2.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_lemma2.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_lemma2.cpp.o.d"
+  "/root/repo/tests/core/test_quiescence.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_quiescence.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_quiescence.cpp.o.d"
+  "/root/repo/tests/core/test_trace_io.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_trace_io.cpp.o.d"
+  "/root/repo/tests/core/test_trace_io_fuzz.cpp" "tests/CMakeFiles/hinet_core_tests.dir/core/test_trace_io_fuzz.cpp.o" "gcc" "tests/CMakeFiles/hinet_core_tests.dir/core/test_trace_io_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hinet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hinet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hinet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hinet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hinet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hinet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_core_tests.dir/core/test_alg1.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_alg1.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_alg2.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_alg2.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_alg_dhop.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_alg_dhop.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_applications.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_applications.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_cost_model_properties.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_cost_model_properties.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_differential.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_differential.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_edge_cases.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_edge_cases.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_hinet_generator.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_hinet_generator.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_hinet_properties.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_hinet_properties.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_lemma2.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_lemma2.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_quiescence.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_quiescence.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_trace_io.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_trace_io.cpp.o.d"
+  "CMakeFiles/hinet_core_tests.dir/core/test_trace_io_fuzz.cpp.o"
+  "CMakeFiles/hinet_core_tests.dir/core/test_trace_io_fuzz.cpp.o.d"
+  "hinet_core_tests"
+  "hinet_core_tests.pdb"
+  "hinet_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_crashes.cpp" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_crashes.cpp.o" "gcc" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_crashes.cpp.o.d"
+  "/root/repo/tests/graph/test_dynamic.cpp" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_dynamic.cpp.o.d"
+  "/root/repo/tests/graph/test_generators.cpp" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_generators.cpp.o" "gcc" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_generators.cpp.o.d"
+  "/root/repo/tests/graph/test_graph.cpp" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_graph.cpp.o" "gcc" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_graph.cpp.o.d"
+  "/root/repo/tests/graph/test_manhattan.cpp" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_manhattan.cpp.o" "gcc" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_manhattan.cpp.o.d"
+  "/root/repo/tests/graph/test_tvg.cpp" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_tvg.cpp.o" "gcc" "tests/CMakeFiles/hinet_graph_tests.dir/graph/test_tvg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hinet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hinet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hinet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hinet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hinet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hinet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_crashes.cpp.o"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_crashes.cpp.o.d"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_dynamic.cpp.o"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_dynamic.cpp.o.d"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_generators.cpp.o"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_generators.cpp.o.d"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_graph.cpp.o"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_graph.cpp.o.d"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_manhattan.cpp.o"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_manhattan.cpp.o.d"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_tvg.cpp.o"
+  "CMakeFiles/hinet_graph_tests.dir/graph/test_tvg.cpp.o.d"
+  "hinet_graph_tests"
+  "hinet_graph_tests.pdb"
+  "hinet_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

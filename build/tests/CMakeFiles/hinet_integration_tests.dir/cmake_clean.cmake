@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_integration_tests.dir/analysis/test_analysis.cpp.o"
+  "CMakeFiles/hinet_integration_tests.dir/analysis/test_analysis.cpp.o.d"
+  "CMakeFiles/hinet_integration_tests.dir/analysis/test_model_estimation.cpp.o"
+  "CMakeFiles/hinet_integration_tests.dir/analysis/test_model_estimation.cpp.o.d"
+  "CMakeFiles/hinet_integration_tests.dir/baseline/test_baselines.cpp.o"
+  "CMakeFiles/hinet_integration_tests.dir/baseline/test_baselines.cpp.o.d"
+  "CMakeFiles/hinet_integration_tests.dir/baseline/test_network_coding.cpp.o"
+  "CMakeFiles/hinet_integration_tests.dir/baseline/test_network_coding.cpp.o.d"
+  "hinet_integration_tests"
+  "hinet_integration_tests.pdb"
+  "hinet_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

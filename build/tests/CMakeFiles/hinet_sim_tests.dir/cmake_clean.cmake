@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_sim_tests.dir/sim/test_channel.cpp.o"
+  "CMakeFiles/hinet_sim_tests.dir/sim/test_channel.cpp.o.d"
+  "CMakeFiles/hinet_sim_tests.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/hinet_sim_tests.dir/sim/test_engine.cpp.o.d"
+  "hinet_sim_tests"
+  "hinet_sim_tests.pdb"
+  "hinet_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

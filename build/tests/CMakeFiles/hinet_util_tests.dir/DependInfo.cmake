@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_io.cpp" "tests/CMakeFiles/hinet_util_tests.dir/util/test_io.cpp.o" "gcc" "tests/CMakeFiles/hinet_util_tests.dir/util/test_io.cpp.o.d"
+  "/root/repo/tests/util/test_require.cpp" "tests/CMakeFiles/hinet_util_tests.dir/util/test_require.cpp.o" "gcc" "tests/CMakeFiles/hinet_util_tests.dir/util/test_require.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/hinet_util_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/hinet_util_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/hinet_util_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/hinet_util_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_token_set.cpp" "tests/CMakeFiles/hinet_util_tests.dir/util/test_token_set.cpp.o" "gcc" "tests/CMakeFiles/hinet_util_tests.dir/util/test_token_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hinet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hinet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hinet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hinet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hinet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hinet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

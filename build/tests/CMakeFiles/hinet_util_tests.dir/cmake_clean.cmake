@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinet_util_tests.dir/util/test_io.cpp.o"
+  "CMakeFiles/hinet_util_tests.dir/util/test_io.cpp.o.d"
+  "CMakeFiles/hinet_util_tests.dir/util/test_require.cpp.o"
+  "CMakeFiles/hinet_util_tests.dir/util/test_require.cpp.o.d"
+  "CMakeFiles/hinet_util_tests.dir/util/test_rng.cpp.o"
+  "CMakeFiles/hinet_util_tests.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/hinet_util_tests.dir/util/test_stats.cpp.o"
+  "CMakeFiles/hinet_util_tests.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/hinet_util_tests.dir/util/test_token_set.cpp.o"
+  "CMakeFiles/hinet_util_tests.dir/util/test_token_set.cpp.o.d"
+  "hinet_util_tests"
+  "hinet_util_tests.pdb"
+  "hinet_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinet_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hinet_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/hinet_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/hinet_cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/hinet_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/hinet_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/hinet_integration_tests[1]_include.cmake")
