@@ -26,14 +26,15 @@ struct MeasuredRow {
 };
 
 inline MeasuredRow measure_scenario(Scenario s, const ScenarioConfig& cfg,
-                                    std::size_t reps, std::uint64_t seed) {
+                                    std::size_t reps, std::uint64_t seed,
+                                    std::size_t jobs = 1) {
   MeasuredRow row;
   row.model = scenario_name(s);
   const ScenarioRun probe = make_scenario(s, cfg, seed);
   row.time_sched = probe.scheduled_rounds;
   row.analytic = probe.analytic;
   const AggregateResult agg =
-      run_experiment(scenario_factory(s, cfg), reps, seed);
+      run_experiment_parallel(scenario_factory(s, cfg), reps, seed, jobs);
   row.time_mean = agg.rounds_to_completion.mean;
   row.comm_mean = agg.tokens_sent.mean;
   row.delivery = agg.delivery_rate;

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 1, "base seed"));
   const std::string out_path =
       args.get_string("out", "", "write report to this path (default stdout)");
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "full reproduction report", [&] {
     std::ostringstream md;
@@ -119,7 +120,7 @@ int main(int argc, char** argv) {
       std::vector<std::vector<std::string>> cells;
       for (const auto& item : plan) {
         bench::MeasuredRow row =
-            bench::measure_scenario(item.s, *item.cfg, reps, seed);
+            bench::measure_scenario(item.s, *item.cfg, reps, seed, jobs);
         const auto [at, ac] = bench::analytic_costs(item.s, row.analytic);
         (void)at;
         cells.push_back({row.model, std::to_string(row.time_sched),
@@ -175,11 +176,15 @@ int main(int argc, char** argv) {
                          Scenario::kHiNetIntervalStable, Scenario::kKloOne,
                          Scenario::kHiNetOne}) {
         std::size_t ok_count = 0;
-        for (std::uint64_t sd = 0; sd < reps; ++sd) {
-          ScenarioRun sr = make_scenario(s, cfg, seed + sd);
-          const std::size_t sched = sr.scheduled_rounds;
-          const SimMetrics m = run_once(std::move(sr.run));
-          if (m.all_delivered && m.rounds_to_completion <= sched) ++ok_count;
+        ScenarioSchedule sched;
+        (void)scenario_generator(s, cfg, seed, &sched);
+        const auto runs =
+            run_replicates(scenario_factory(s, cfg), reps, seed, jobs);
+        for (const ReplicateResult& r : runs) {
+          if (r.metrics.all_delivered &&
+              r.metrics.rounds_to_completion <= sched.rounds()) {
+            ++ok_count;
+          }
         }
         cells.push_back({scenario_name(s),
                          std::to_string(ok_count) + "/" + std::to_string(reps),

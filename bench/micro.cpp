@@ -144,7 +144,8 @@ void BM_EngineAlg1EndToEnd(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_once(make_scenario(Scenario::kHiNetInterval, cfg, ++seed).run));
+        run_simulation(make_scenario(Scenario::kHiNetInterval, cfg, ++seed)
+                           .spec));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -162,7 +163,7 @@ void BM_EngineKloFloodEndToEnd(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_once(make_scenario(Scenario::kKloOne, cfg, ++seed).run));
+        run_simulation(make_scenario(Scenario::kKloOne, cfg, ++seed).spec));
   }
 }
 BENCHMARK(BM_EngineKloFloodEndToEnd)->Arg(64)->Arg(128);

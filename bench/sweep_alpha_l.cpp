@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 1, "base seed"));
   const std::string csv_path =
       args.get_string("csv", "", "write CSV to this path (empty = skip)");
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "Sweep V4 — cost vs alpha and L", [&] {
     std::cout << "=== V4: Algorithm 1 cost vs alpha and L (n0=72, heads=8, "
@@ -41,8 +42,8 @@ int main(int argc, char** argv) {
         cfg.alpha = alpha;
         cfg.hop_l = l;
         cfg.reaffiliation_prob = 0.1;
-        const bench::MeasuredRow row =
-            bench::measure_scenario(Scenario::kHiNetInterval, cfg, reps, seed);
+        const bench::MeasuredRow row = bench::measure_scenario(
+            Scenario::kHiNetInterval, cfg, reps, seed, jobs);
         const auto [at, ac] = bench::analytic_costs(Scenario::kHiNetInterval,
                                                     row.analytic);
         (void)at;

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("reps", 3, "seeds per cell"));
   const double tx = args.get_double("tx", 1.0, "energy per transmitted token");
   const double rx = args.get_double("rx", 0.5, "energy per received token");
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "V7 — energy accounting", [&] {
     std::cout << "=== V7: radio energy per algorithm (n0=64, heads=8, k=6, "
@@ -33,11 +34,12 @@ int main(int argc, char** argv) {
                        Scenario::kKloOne, Scenario::kHiNetOne}) {
       double total_sum = 0.0, max_sum = 0.0;
       std::size_t delivered = 0;
-      for (std::uint64_t seed = 0; seed < reps; ++seed) {
-        const SimMetrics m = run_once(make_scenario(s, cfg, seed).run);
-        total_sum += total_energy(m, model);
-        max_sum += max_node_energy(m, model);
-        if (m.all_delivered) ++delivered;
+      const auto runs =
+          run_replicates(scenario_factory(s, cfg), reps, 0, jobs);
+      for (const ReplicateResult& r : runs) {
+        total_sum += total_energy(r.metrics, model);
+        max_sum += max_node_energy(r.metrics, model);
+        if (r.metrics.all_delivered) ++delivered;
       }
       const double total = total_sum / static_cast<double>(reps);
       const double mean_node = total / static_cast<double>(cfg.nodes);

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 1, "base seed"));
   const std::string csv_path =
       args.get_string("csv", "", "write CSV to this path (empty = skip)");
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "Sweep V2 — communication vs k", [&] {
     std::cout << "=== V2: communication vs k (n0=64, heads=8, alpha=2, L=2) "
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
       for (Scenario s : {Scenario::kKloInterval, Scenario::kHiNetInterval,
                          Scenario::kKloOne, Scenario::kHiNetOne}) {
         const bench::MeasuredRow row =
-            bench::measure_scenario(s, cfg, reps, seed);
+            bench::measure_scenario(s, cfg, reps, seed, jobs);
         const auto [at, ac] = bench::analytic_costs(s, row.analytic);
         (void)at;
         t.add(k, row.model, row.comm_mean, ac, row.time_mean,

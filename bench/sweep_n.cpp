@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       args.get_int("max-n", 160, "largest network size"));
   const std::string csv_path =
       args.get_string("csv", "", "write CSV to this path (empty = skip)");
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "Sweep V1 — cost vs n0", [&] {
     std::cout << "=== V1: communication & time vs n0 (k=6, alpha=2, L=2, "
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
       for (Scenario s : {Scenario::kKloInterval, Scenario::kHiNetInterval,
                          Scenario::kKloOne, Scenario::kHiNetOne}) {
         const bench::MeasuredRow row =
-            bench::measure_scenario(s, cfg, reps, seed);
+            bench::measure_scenario(s, cfg, reps, seed, jobs);
         const auto [at, ac] = bench::analytic_costs(s, row.analytic);
         (void)at;
         t.add(n, row.model, row.time_sched, row.time_mean, row.comm_mean, ac,

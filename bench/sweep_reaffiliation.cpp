@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 1, "base seed"));
   const std::string csv_path =
       args.get_string("csv", "", "write CSV to this path (empty = skip)");
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "Sweep V3 — communication vs churn", [&] {
     std::cout << "=== V3: communication vs re-affiliation churn (n0=64, "
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
       for (Scenario s : {Scenario::kHiNetInterval, Scenario::kHiNetOne,
                          Scenario::kHiNetIntervalStable}) {
         const bench::MeasuredRow row =
-            bench::measure_scenario(s, cfg, reps, seed);
+            bench::measure_scenario(s, cfg, reps, seed, jobs);
         const auto [at, ac] = bench::analytic_costs(s, row.analytic);
         (void)at;
         t.add(p, row.model, static_cast<long long>(row.analytic.n_r),
@@ -59,7 +60,8 @@ int main(int argc, char** argv) {
     ref.alpha = 2;
     ref.hop_l = 2;
     for (Scenario s : {Scenario::kKloInterval, Scenario::kKloOne}) {
-      const bench::MeasuredRow row = bench::measure_scenario(s, ref, reps, seed);
+      const bench::MeasuredRow row =
+          bench::measure_scenario(s, ref, reps, seed, jobs);
       std::cout << "  " << row.model << ": measured " << row.comm_mean
                 << " tokens\n";
     }

@@ -23,12 +23,11 @@ struct Outcome {
   double tokens_mean = 0.0;
 };
 
-Outcome run_cells(bool hinet, double loss, std::size_t reps,
-                  std::size_t nodes, std::size_t k, std::size_t slack) {
-  double rounds_sum = 0.0, tokens_sum = 0.0;
-  std::size_t delivered = 0;
+/// SpecFactory for one (algorithm, loss) cell; pure function of the seed.
+SpecFactory cell_factory(bool hinet, double loss, std::size_t nodes,
+                         std::size_t k, std::size_t slack) {
   const std::size_t horizon = slack * (nodes - 1);
-  for (std::uint64_t seed = 0; seed < reps; ++seed) {
+  return [=](std::uint64_t seed) {
     HiNetConfig gen;
     gen.nodes = nodes;
     gen.heads = nodes / 6;
@@ -41,36 +40,38 @@ Outcome run_cells(bool hinet, double loss, std::size_t reps,
     Rng arng(seed ^ 0xa11ceULL);
     const auto init =
         assign_tokens(nodes, k, AssignmentMode::kDistinctRandom, arng);
-    std::vector<ProcessPtr> procs;
-    HierarchyProvider* hier = nullptr;
+    SimulationSpec spec;
     if (hinet) {
       Alg2Params p;
       p.k = k;
       p.rounds = horizon;
-      procs = make_alg2_processes(init, p);
-      hier = &trace.ctvg.hierarchy();
+      spec.processes = make_alg2_processes(init, p);
+      spec.hierarchy = std::make_unique<HierarchySequence>(
+          std::move(trace.ctvg.hierarchy()));
     } else {
       KloFloodParams p;
       p.k = k;
       p.rounds = horizon;
-      procs = make_klo_flood_processes(init, p);
+      spec.processes = make_klo_flood_processes(init, p);
     }
-    Engine engine(trace.ctvg.topology(), hier, std::move(procs));
-    LossyChannel channel(loss, seed ^ 0x10553ULL);
-    engine.set_channel(&channel);
-    const SimMetrics m =
-        engine.run({.max_rounds = horizon, .stop_when_complete = true});
-    if (m.all_delivered) {
-      ++delivered;
-      rounds_sum += static_cast<double>(m.rounds_to_completion);
-    }
-    tokens_sum += static_cast<double>(m.tokens_sent);
-  }
+    spec.network =
+        std::make_unique<GraphSequence>(std::move(trace.ctvg.topology()));
+    spec.channel = std::make_unique<LossyChannel>(loss, seed ^ 0x10553ULL);
+    spec.engine.max_rounds = horizon;
+    spec.engine.stop_when_complete = true;
+    return spec;
+  };
+}
+
+Outcome run_cells(bool hinet, double loss, std::size_t reps,
+                  std::size_t nodes, std::size_t k, std::size_t slack,
+                  std::size_t jobs) {
+  const AggregateResult agg = run_experiment_parallel(
+      cell_factory(hinet, loss, nodes, k, slack), reps, 0, jobs);
   Outcome o;
-  o.delivery = static_cast<double>(delivered) / static_cast<double>(reps);
-  o.rounds_mean =
-      delivered > 0 ? rounds_sum / static_cast<double>(delivered) : 0.0;
-  o.tokens_mean = tokens_sum / static_cast<double>(reps);
+  o.delivery = agg.delivery_rate;
+  o.rounds_mean = agg.rounds_to_completion.mean;
+  o.tokens_mean = agg.tokens_sent.mean;
   return o;
 }
 
@@ -84,6 +85,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("nodes", 36, "network size"));
   const auto k =
       static_cast<std::size_t>(args.get_int("k", 5, "token count"));
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "V6 — robustness under packet loss", [&] {
     std::cout << "=== V6: delivery under i.i.d. packet loss ((1,L)-HiNet "
@@ -91,8 +93,8 @@ int main(int argc, char** argv) {
     TextTable t({"loss", "algorithm", "delivery%", "rounds (mean)",
                  "tokens (mean)"});
     for (double loss : {0.0, 0.1, 0.25, 0.5, 0.75}) {
-      const Outcome hi = run_cells(true, loss, reps, nodes, k, 3);
-      const Outcome klo = run_cells(false, loss, reps, nodes, k, 3);
+      const Outcome hi = run_cells(true, loss, reps, nodes, k, 3, jobs);
+      const Outcome klo = run_cells(false, loss, reps, nodes, k, 3, jobs);
       t.add(loss, "Algorithm 2 ((1,L)-HiNet)", hi.delivery * 100.0,
             hi.rounds_mean, hi.tokens_mean);
       t.add(loss, "KLO token forwarding [7]", klo.delivery * 100.0,

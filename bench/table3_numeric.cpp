@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
       args.get_int("reps", 5, "repetitions per scenario"));
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1, "base seed"));
+  const std::size_t jobs = args.get_jobs();
 
   return bench::run_main(args, "Table 3 — numeric example + measured", [&] {
     std::cout << "=== Table 3: Numerical Results of Performance Analysis "
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
     };
     for (const auto& item : plan) {
       const bench::MeasuredRow row =
-          bench::measure_scenario(item.s, *item.cfg, reps, seed);
+          bench::measure_scenario(item.s, *item.cfg, reps, seed, jobs);
       const auto [at, ac] = bench::analytic_costs(item.s, row.analytic);
       (void)at;
       m.add(row.model, row.time_sched, row.time_mean, row.comm_mean, ac,

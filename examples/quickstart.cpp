@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "analysis/scenarios.hpp"
+#include "core/hinet_generator.hpp"
 #include "core/hinet_properties.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -36,23 +37,32 @@ int main(int argc, char** argv) try {
             << ", heads=" << cfg.heads << ", k=" << cfg.k
             << ", alpha=" << cfg.alpha << ", L=" << cfg.hop_l << "\n";
 
-  ScenarioRun run = make_scenario(Scenario::kHiNetInterval, cfg, seed);
+  // Generate the trace ourselves so it can be inspected and
+  // property-checked before being handed over to the simulation.
+  HiNetTrace trace =
+      make_hinet_trace(scenario_generator(Scenario::kHiNetInterval, cfg, seed));
+  std::cout << "   trace dynamics: theta=" << trace.stats.theta
+            << "  n_m=" << trace.stats.mean_members
+            << "  n_r=" << trace.stats.mean_reaffiliations << "\n\n";
+
+  std::cout << "2. Checking the trace against Definition 8 ((T,L)-HiNet)\n";
+  {
+    ScenarioSchedule sched;
+    (void)scenario_generator(Scenario::kHiNetInterval, cfg, seed, &sched);
+    const PropertyResult ok =
+        check_hinet(trace.ctvg, trace.ctvg.round_count(), sched.phase_length,
+                    static_cast<int>(cfg.hop_l));
+    std::cout << "   " << (ok ? "model properties hold" : ok.violation)
+              << "\n\n";
+  }
+
+  std::cout << "3. Running Algorithm 1 (k-token dissemination)\n";
+  ScenarioRun run = make_scenario_from_trace(Scenario::kHiNetInterval, cfg,
+                                             std::move(trace), seed);
   std::cout << "   scheduled: " << run.scheduled_rounds << " rounds ("
             << alg1_phase_count(run.analytic) << " phases of "
             << alg1_min_phase_length(run.analytic) << " rounds)\n";
-  std::cout << "   trace dynamics: theta=" << run.trace_stats.theta
-            << "  n_m=" << run.trace_stats.mean_members
-            << "  n_r=" << run.trace_stats.mean_reaffiliations << "\n\n";
-
-  std::cout << "2. Checking the trace against Definition 8 ((T,L)-HiNet)\n";
-  auto* trace = static_cast<HiNetTrace*>(run.run.holder.get());
-  const std::size_t t = alg1_min_phase_length(run.analytic);
-  const PropertyResult ok = check_hinet(
-      trace->ctvg, trace->ctvg.round_count(), t, static_cast<int>(cfg.hop_l));
-  std::cout << "   " << (ok ? "model properties hold" : ok.violation) << "\n\n";
-
-  std::cout << "3. Running Algorithm 1 (k-token dissemination)\n";
-  const SimMetrics m = run_once(std::move(run.run));
+  const SimMetrics m = run_simulation(std::move(run.spec));
   std::cout << "   " << m.to_string() << "\n\n";
 
   std::cout << "4. Comparing with the analytic cost model (Table 2 row)\n";

@@ -31,6 +31,7 @@ int main(int argc, char** argv) try {
       static_cast<std::uint64_t>(args.get_int("seed", 5, "seed"));
   const auto reps =
       static_cast<std::size_t>(args.get_int("reps", 5, "repetitions"));
+  const std::size_t jobs = args.get_jobs();
   if (args.help_requested()) {
     std::cout << args.usage(
         "sensor_network: Remark 1 (stable backbone) vs plain Algorithm 1");
@@ -55,17 +56,18 @@ int main(int argc, char** argv) try {
     // optimisation disabled — i.e. the kHiNetInterval scenario with
     // head_churn left at zero (the generator default), which already
     // yields a constant head set.
-    const AggregateResult agg = run_experiment(
-        scenario_factory(Scenario::kHiNetInterval, stable_cfg), reps, seed);
+    const AggregateResult agg = run_experiment_parallel(
+        scenario_factory(Scenario::kHiNetInterval, stable_cfg), reps, seed,
+        jobs);
     plain_tokens = agg.tokens_sent.mean;
     t.add("Algorithm 1 (members re-upload on churn)",
           agg.delivery_rate * 100.0, agg.rounds_to_completion.mean,
           agg.tokens_sent.mean);
   }
   {
-    const AggregateResult agg = run_experiment(
+    const AggregateResult agg = run_experiment_parallel(
         scenario_factory(Scenario::kHiNetIntervalStable, stable_cfg), reps,
-        seed);
+        seed, jobs);
     stable_tokens = agg.tokens_sent.mean;
     t.add("Remark 1 (upload once, never re-send)", agg.delivery_rate * 100.0,
           agg.rounds_to_completion.mean, agg.tokens_sent.mean);

@@ -1,46 +1,142 @@
 #include "analysis/experiment.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace hinet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ReplicateResult run_one(const SpecFactory& factory, std::uint64_t seed) {
+  const auto t0 = Clock::now();
+  ReplicateResult out;
+  out.metrics = run_simulation(factory(seed));
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return out;
+}
+
+}  // namespace
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::vector<ReplicateResult> run_replicates(const SpecFactory& factory,
+                                            std::size_t repetitions,
+                                            std::uint64_t base_seed,
+                                            std::size_t jobs) {
+  HINET_REQUIRE(repetitions >= 1, "need at least one repetition");
+  if (jobs == 0) jobs = default_jobs();
+  std::vector<ReplicateResult> out(repetitions);
+
+  if (jobs == 1 || repetitions == 1) {
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      out[rep] = run_one(factory, replicate_seed(base_seed, rep));
+    }
+    return out;
+  }
+
+  // Fixed-size pool pulling replicate indices from a shared counter.  Each
+  // replicate writes only its own slot, so no result synchronisation is
+  // needed; the first failure stops the pool and is rethrown after join.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t rep = next.fetch_add(1, std::memory_order_relaxed);
+      if (rep >= repetitions) break;
+      try {
+        out[rep] = run_one(factory, replicate_seed(base_seed, rep));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t width = jobs < repetitions ? jobs : repetitions;
+  std::vector<std::thread> pool;
+  pool.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return out;
+}
+
+AggregateResult aggregate_replicates(const std::vector<ReplicateResult>& reps,
+                                     double batch_seconds, std::size_t jobs) {
+  std::vector<double> rounds, tokens, packets, wall;
+  std::size_t delivered = 0;
+  for (const ReplicateResult& r : reps) {
+    tokens.push_back(static_cast<double>(r.metrics.tokens_sent));
+    packets.push_back(static_cast<double>(r.metrics.packets_sent));
+    wall.push_back(r.wall_ms);
+    if (r.metrics.all_delivered) {
+      ++delivered;
+      rounds.push_back(static_cast<double>(r.metrics.rounds_to_completion));
+    }
+  }
+  AggregateResult out;
+  out.repetitions = reps.size();
+  out.delivery_rate =
+      static_cast<double>(delivered) / static_cast<double>(reps.size());
+  out.rounds_to_completion = summarize(std::move(rounds));
+  out.tokens_sent = summarize(std::move(tokens));
+  out.packets_sent = summarize(std::move(packets));
+  out.timing.replicate_wall_ms = summarize(std::move(wall));
+  out.timing.wall_seconds = batch_seconds;
+  out.timing.runs_per_second =
+      batch_seconds > 0.0
+          ? static_cast<double>(reps.size()) / batch_seconds
+          : 0.0;
+  out.timing.jobs = jobs;
+  return out;
+}
+
+bool AggregateResult::same_statistics(const AggregateResult& other) const {
+  return rounds_to_completion == other.rounds_to_completion &&
+         tokens_sent == other.tokens_sent &&
+         packets_sent == other.packets_sent &&
+         delivery_rate == other.delivery_rate &&
+         repetitions == other.repetitions;
+}
 
 std::string AggregateResult::to_string() const {
   std::ostringstream os;
   os << "reps=" << repetitions << " delivery=" << delivery_rate * 100.0
      << "% rounds{mean=" << rounds_to_completion.mean
-     << "} tokens{mean=" << tokens_sent.mean << "}";
+     << "} tokens{mean=" << tokens_sent.mean << "} jobs=" << timing.jobs
+     << " throughput=" << timing.runs_per_second << " runs/s";
   return os.str();
 }
 
-SimMetrics run_once(PreparedRun run) {
-  HINET_REQUIRE(run.net != nullptr, "run needs a network");
-  Engine engine(*run.net, run.hierarchy, std::move(run.processes));
-  return engine.run(run.engine);
-}
-
-AggregateResult run_experiment(const RunFactory& factory,
+AggregateResult run_experiment(const SpecFactory& factory,
                                std::size_t repetitions,
                                std::uint64_t base_seed) {
-  HINET_REQUIRE(repetitions >= 1, "need at least one repetition");
-  std::vector<double> rounds, tokens, packets;
-  std::size_t delivered = 0;
-  for (std::size_t rep = 0; rep < repetitions; ++rep) {
-    const SimMetrics m = run_once(factory(base_seed + rep));
-    tokens.push_back(static_cast<double>(m.tokens_sent));
-    packets.push_back(static_cast<double>(m.packets_sent));
-    if (m.all_delivered) {
-      ++delivered;
-      rounds.push_back(static_cast<double>(m.rounds_to_completion));
-    }
-  }
-  AggregateResult out;
-  out.repetitions = repetitions;
-  out.delivery_rate =
-      static_cast<double>(delivered) / static_cast<double>(repetitions);
-  out.rounds_to_completion = summarize(std::move(rounds));
-  out.tokens_sent = summarize(std::move(tokens));
-  out.packets_sent = summarize(std::move(packets));
-  return out;
+  return run_experiment_parallel(factory, repetitions, base_seed, 1);
+}
+
+AggregateResult run_experiment_parallel(const SpecFactory& factory,
+                                        std::size_t repetitions,
+                                        std::uint64_t base_seed,
+                                        std::size_t jobs) {
+  if (jobs == 0) jobs = default_jobs();
+  const auto t0 = Clock::now();
+  const std::vector<ReplicateResult> results =
+      run_replicates(factory, repetitions, base_seed, jobs);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return aggregate_replicates(results, seconds, jobs);
 }
 
 }  // namespace hinet

@@ -1,47 +1,106 @@
 // Experiment harness: repeat a seeded simulation, aggregate the metrics.
 //
-// A RunFactory builds everything one repetition needs (trace, hierarchy,
-// processes, engine config) from a seed; run_experiment executes
-// `repetitions` of them with derived seeds and summarises.  All benches
-// and sweep figures go through this path so their statistics are computed
-// identically.
+// A SpecFactory builds everything one repetition needs — trace, hierarchy,
+// channel, processes, engine config — as a self-owning SimulationSpec from
+// a seed; run_experiment / run_experiment_parallel execute `repetitions`
+// of them with derived seeds and summarise.  All benches and sweep figures
+// go through this path so their statistics are computed identically.
+//
+// Parallel execution contract: because every spec owns its whole run,
+// replicates share no mutable state and can execute on a fixed-size worker
+// pool.  Seeds are derived per replicate *index* (replicate_seed), results
+// are stored by index and aggregated in index order, so a parallel batch
+// produces byte-identical statistics to the serial path regardless of
+// completion order.  The factory itself must be safe to invoke from
+// multiple threads concurrently (a pure function of the seed, or
+// internally synchronised).
 #pragma once
 
 #include <functional>
-#include <memory>
+#include <vector>
 
-#include "sim/engine.hpp"
+#include "sim/spec.hpp"
 #include "util/stats.hpp"
 
 namespace hinet {
 
-struct PreparedRun {
-  /// Keeps the trace (or any other backing storage) alive for the run.
-  std::shared_ptr<void> holder;
-  DynamicNetwork* net = nullptr;
-  HierarchyProvider* hierarchy = nullptr;  ///< null for flat algorithms
-  std::vector<ProcessPtr> processes;
-  EngineConfig engine;
+using SpecFactory = std::function<SimulationSpec(std::uint64_t seed)>;
+
+/// Seed of replicate `rep` in a batch with base seed `base_seed`.  Kept as
+/// plain base + rep (the historical contract "seeds base_seed,
+/// base_seed+1, ..."), centralised here so the serial and parallel paths
+/// cannot drift apart.
+constexpr std::uint64_t replicate_seed(std::uint64_t base_seed,
+                                       std::size_t rep) {
+  return base_seed + static_cast<std::uint64_t>(rep);
+}
+
+/// Worker-pool width used when callers pass jobs == 0: the hardware
+/// concurrency, or 1 when the runtime cannot report it.
+std::size_t default_jobs();
+
+/// One executed replicate: its metrics plus the wall time it took.
+struct ReplicateResult {
+  SimMetrics metrics;
+  double wall_ms = 0.0;
 };
 
-using RunFactory = std::function<PreparedRun(std::uint64_t seed)>;
+/// Executes `repetitions` replicates with seeds replicate_seed(base_seed,
+/// 0..reps-1) on up to `jobs` worker threads (0 = default_jobs()).
+/// Results are indexed by replicate, independent of completion order.
+/// Building the spec (trace generation) and running it both happen on the
+/// worker, so the whole per-replicate pipeline parallelises.  The first
+/// exception thrown by any replicate is rethrown after the pool drains.
+std::vector<ReplicateResult> run_replicates(const SpecFactory& factory,
+                                            std::size_t repetitions,
+                                            std::uint64_t base_seed,
+                                            std::size_t jobs = 1);
+
+/// Wall-clock measurement of a batch.  Unlike the simulation statistics,
+/// these values vary run to run and are excluded from same_statistics().
+struct BatchTiming {
+  Summary replicate_wall_ms;   ///< per-replicate wall time
+  double wall_seconds = 0.0;   ///< whole-batch wall time
+  double runs_per_second = 0.0;  ///< repetitions / wall_seconds
+  std::size_t jobs = 1;        ///< worker-pool width actually used
+};
 
 struct AggregateResult {
+  // Deterministic simulation statistics: identical (byte for byte) for
+  // serial and parallel batches at equal (factory, repetitions, base_seed).
   Summary rounds_to_completion;  ///< over delivered runs only
   Summary tokens_sent;
   Summary packets_sent;
   double delivery_rate = 0.0;  ///< fraction of repetitions that delivered
   std::size_t repetitions = 0;
 
+  // Wall-clock measurement; varies run to run.
+  BatchTiming timing;
+
+  /// True when the deterministic statistics match exactly (bitwise double
+  /// equality); timing is deliberately ignored.
+  bool same_statistics(const AggregateResult& other) const;
+
   std::string to_string() const;
 };
 
-/// Executes `repetitions` runs with seeds base_seed, base_seed+1, ...
-AggregateResult run_experiment(const RunFactory& factory,
+/// Summarises replicate results in index order (order-independent w.r.t.
+/// execution).  `batch_seconds`/`jobs` fill the timing block.
+AggregateResult aggregate_replicates(const std::vector<ReplicateResult>& reps,
+                                     double batch_seconds, std::size_t jobs);
+
+/// Serial reference path: executes repetitions one after another on the
+/// calling thread.  Statistics are byte-identical to
+/// run_experiment_parallel at any job count.
+AggregateResult run_experiment(const SpecFactory& factory,
                                std::size_t repetitions,
                                std::uint64_t base_seed);
 
-/// Executes a single prepared run (convenience for examples/tests).
-SimMetrics run_once(PreparedRun run);
+/// Batch executor on a fixed-size worker pool of `jobs` threads
+/// (0 = default_jobs()).
+AggregateResult run_experiment_parallel(const SpecFactory& factory,
+                                        std::size_t repetitions,
+                                        std::uint64_t base_seed,
+                                        std::size_t jobs = 0);
 
 }  // namespace hinet

@@ -19,87 +19,86 @@ const char* scenario_name(Scenario s) {
   return "?";
 }
 
-namespace {
-
-struct TracePlan {
-  HiNetConfig gen;
-  std::size_t scheduled_rounds = 0;
-};
-
-TracePlan plan_trace(Scenario s, const ScenarioConfig& cfg,
-                     std::uint64_t seed) {
+HiNetConfig scenario_generator(Scenario s, const ScenarioConfig& cfg,
+                               std::uint64_t seed,
+                               ScenarioSchedule* schedule) {
   const std::size_t t = cfg.k + cfg.alpha * static_cast<std::size_t>(cfg.hop_l);
-  TracePlan plan;
-  plan.gen.nodes = cfg.nodes;
-  plan.gen.heads = cfg.heads;
-  plan.gen.hop_l = cfg.hop_l;
-  plan.gen.reaffiliation_prob = cfg.reaffiliation_prob;
-  plan.gen.churn_edges = cfg.churn_edges;
-  plan.gen.seed = seed;
+  HiNetConfig gen;
+  gen.nodes = cfg.nodes;
+  gen.heads = cfg.heads;
+  gen.hop_l = cfg.hop_l;
+  gen.reaffiliation_prob = cfg.reaffiliation_prob;
+  gen.churn_edges = cfg.churn_edges;
+  gen.seed = seed;
   switch (s) {
     case Scenario::kKloInterval: {
-      plan.gen.phase_length = t;
-      plan.gen.phases = ceil_div(cfg.nodes, cfg.alpha *
-                                 static_cast<std::size_t>(cfg.hop_l));
+      gen.phase_length = t;
+      gen.phases = ceil_div(cfg.nodes, cfg.alpha *
+                            static_cast<std::size_t>(cfg.hop_l));
       break;
     }
     case Scenario::kHiNetInterval: {
-      plan.gen.phase_length = t;
-      plan.gen.phases = ceil_div(cfg.heads, cfg.alpha) + 1;
+      gen.phase_length = t;
+      gen.phases = ceil_div(cfg.heads, cfg.alpha) + 1;
       break;
     }
     case Scenario::kHiNetIntervalStable: {
-      plan.gen.phase_length = t;
-      plan.gen.phases = ceil_div(cfg.heads, cfg.alpha) + 1;
-      plan.gen.stable_heads = true;
+      gen.phase_length = t;
+      gen.phases = ceil_div(cfg.heads, cfg.alpha) + 1;
+      gen.stable_heads = true;
       break;
     }
     case Scenario::kKloOne:
     case Scenario::kHiNetOne: {
-      plan.gen.phase_length = 1;
-      plan.gen.phases = cfg.nodes >= 2 ? cfg.nodes - 1 : 1;
+      gen.phase_length = 1;
+      gen.phases = cfg.nodes >= 2 ? cfg.nodes - 1 : 1;
       // With single-round phases a full backbone reshuffle every round
       // would force member/gateway role flips far beyond the n_r the
       // analytic model accounts for; keep the relay structure quasi-stable
       // and let the re-affiliation coin drive churn.
-      plan.gen.backbone_rewire_prob = cfg.reaffiliation_prob;
+      gen.backbone_rewire_prob = cfg.reaffiliation_prob;
       break;
     }
   }
-  plan.scheduled_rounds = plan.gen.phases * plan.gen.phase_length;
-  return plan;
+  if (schedule != nullptr) {
+    schedule->phase_length = gen.phase_length;
+    schedule->phases = gen.phases;
+  }
+  return gen;
 }
 
+namespace {
+
 std::vector<ProcessPtr> plan_processes(Scenario s, const ScenarioConfig& cfg,
-                                       const TracePlan& plan,
+                                       const ScenarioSchedule& sched,
                                        const std::vector<TokenSet>& initial) {
   switch (s) {
     case Scenario::kKloInterval: {
       KloPipelineParams p;
       p.k = cfg.k;
-      p.phase_length = plan.gen.phase_length;
-      p.phases = plan.gen.phases;
+      p.phase_length = sched.phase_length;
+      p.phases = sched.phases;
       return make_klo_pipeline_processes(initial, p);
     }
     case Scenario::kHiNetInterval:
     case Scenario::kHiNetIntervalStable: {
       Alg1Params p;
       p.k = cfg.k;
-      p.phase_length = plan.gen.phase_length;
-      p.phases = plan.gen.phases;
+      p.phase_length = sched.phase_length;
+      p.phases = sched.phases;
       p.stable_head_optimisation = s == Scenario::kHiNetIntervalStable;
       return make_alg1_processes(initial, p);
     }
     case Scenario::kKloOne: {
       KloFloodParams p;
       p.k = cfg.k;
-      p.rounds = plan.scheduled_rounds;
+      p.rounds = sched.rounds();
       return make_klo_flood_processes(initial, p);
     }
     case Scenario::kHiNetOne: {
       Alg2Params p;
       p.k = cfg.k;
-      p.rounds = plan.scheduled_rounds;
+      p.rounds = sched.rounds();
       return make_alg2_processes(initial, p);
     }
   }
@@ -109,44 +108,54 @@ std::vector<ProcessPtr> plan_processes(Scenario s, const ScenarioConfig& cfg,
 
 }  // namespace
 
-ScenarioRun make_scenario(Scenario s, const ScenarioConfig& cfg,
-                          std::uint64_t seed) {
+ScenarioRun make_scenario_from_trace(Scenario s, const ScenarioConfig& cfg,
+                                     HiNetTrace&& trace, std::uint64_t seed) {
   HINET_REQUIRE(cfg.k >= 1 && cfg.alpha >= 1, "k and alpha must be positive");
-  const TracePlan plan = plan_trace(s, cfg, seed);
-  auto trace = std::make_shared<HiNetTrace>(make_hinet_trace(plan.gen));
+  ScenarioSchedule sched;
+  (void)scenario_generator(s, cfg, seed, &sched);
 
   Rng assign_rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
   const auto initial =
       assign_tokens(cfg.nodes, cfg.k, cfg.assignment, assign_rng);
 
   ScenarioRun out;
-  out.trace_stats = trace->stats;
-  out.scheduled_rounds = plan.scheduled_rounds;
+  out.trace_stats = trace.stats;
+  out.scheduled_rounds = sched.rounds();
   out.analytic.n0 = cfg.nodes;
-  out.analytic.theta = trace->stats.theta;
+  out.analytic.theta = trace.stats.theta;
   out.analytic.n_m = static_cast<std::size_t>(
-      std::llround(trace->stats.mean_members));
+      std::llround(trace.stats.mean_members));
   out.analytic.n_r = static_cast<std::size_t>(
-      std::llround(trace->stats.mean_reaffiliations));
+      std::llround(trace.stats.mean_reaffiliations));
   out.analytic.k = cfg.k;
   out.analytic.alpha = cfg.alpha;
   out.analytic.l = static_cast<std::size_t>(cfg.hop_l);
 
-  out.run.processes = plan_processes(s, cfg, plan, initial);
-  out.run.net = &trace->ctvg.topology();
+  out.spec.processes = plan_processes(s, cfg, sched, initial);
   const bool uses_hierarchy = s == Scenario::kHiNetInterval ||
                               s == Scenario::kHiNetIntervalStable ||
                               s == Scenario::kHiNetOne;
-  out.run.hierarchy = uses_hierarchy ? &trace->ctvg.hierarchy() : nullptr;
-  out.run.holder = std::move(trace);
-  out.run.engine.max_rounds = plan.scheduled_rounds;
-  out.run.engine.stop_when_complete = !cfg.run_full_schedule;
+  if (uses_hierarchy) {
+    out.spec.hierarchy = std::make_unique<HierarchySequence>(
+        std::move(trace.ctvg.hierarchy()));
+  }
+  out.spec.network =
+      std::make_unique<GraphSequence>(std::move(trace.ctvg.topology()));
+  out.spec.engine.max_rounds = sched.rounds();
+  out.spec.engine.stop_when_complete = !cfg.run_full_schedule;
   return out;
 }
 
-RunFactory scenario_factory(Scenario s, const ScenarioConfig& cfg) {
+ScenarioRun make_scenario(Scenario s, const ScenarioConfig& cfg,
+                          std::uint64_t seed) {
+  HINET_REQUIRE(cfg.k >= 1 && cfg.alpha >= 1, "k and alpha must be positive");
+  return make_scenario_from_trace(
+      s, cfg, make_hinet_trace(scenario_generator(s, cfg, seed)), seed);
+}
+
+SpecFactory scenario_factory(Scenario s, const ScenarioConfig& cfg) {
   return [s, cfg](std::uint64_t seed) {
-    return make_scenario(s, cfg, seed).run;
+    return std::move(make_scenario(s, cfg, seed).spec);
   };
 }
 

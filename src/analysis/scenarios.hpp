@@ -8,10 +8,10 @@
 //   kKloOne        — KLO full-broadcast forwarding on a (1, L)-HiNet trace;
 //   kHiNetOne      — Algorithm 2 on the same trace family.
 //
-// Each scenario builder returns the prepared run plus the generator's
-// observed dynamics statistics and the analytic CostParams instantiated
-// with those *measured* values (θ, n_m, n_r), so benches can print
-// analytic-vs-measured side by side.
+// Each scenario builder returns a self-owning SimulationSpec plus the
+// generator's observed dynamics statistics and the analytic CostParams
+// instantiated with those *measured* values (θ, n_m, n_r), so benches can
+// print analytic-vs-measured side by side.
 #pragma once
 
 #include "analysis/assignment.hpp"
@@ -47,8 +47,24 @@ struct ScenarioConfig {
   bool run_full_schedule = true;
 };
 
+/// Phase structure a scenario's algorithm is scheduled for.
+struct ScenarioSchedule {
+  std::size_t phase_length = 0;  ///< T
+  std::size_t phases = 0;        ///< M
+  std::size_t rounds() const { return phase_length * phases; }
+};
+
+/// Generator configuration realising scenario `s` at (cfg, seed).  When
+/// `schedule` is non-null it receives the phase structure.  Exposed so
+/// tools (e.g. quickstart) can generate the trace themselves, inspect or
+/// property-check it, and only then hand it to make_scenario_from_trace.
+HiNetConfig scenario_generator(Scenario s, const ScenarioConfig& cfg,
+                               std::uint64_t seed,
+                               ScenarioSchedule* schedule = nullptr);
+
 struct ScenarioRun {
-  PreparedRun run;
+  /// The runnable simulation; owns trace, hierarchy and processes.
+  SimulationSpec spec;
   HiNetTraceStats trace_stats;
   /// CostParams with θ, n_m, n_r filled from the generated trace (rounded
   /// to the nearest integer), ready for the Table 2 formulas.
@@ -59,7 +75,14 @@ struct ScenarioRun {
 ScenarioRun make_scenario(Scenario s, const ScenarioConfig& cfg,
                           std::uint64_t seed);
 
-/// RunFactory adapter for run_experiment.
-RunFactory scenario_factory(Scenario s, const ScenarioConfig& cfg);
+/// Builds the runnable spec from an already-generated trace (consumes it).
+/// The trace must come from scenario_generator(s, cfg, seed) — the token
+/// assignment is derived from the same seed.
+ScenarioRun make_scenario_from_trace(Scenario s, const ScenarioConfig& cfg,
+                                     HiNetTrace&& trace, std::uint64_t seed);
+
+/// SpecFactory adapter for run_experiment / run_experiment_parallel.
+/// Pure function of the seed, hence safe for concurrent invocation.
+SpecFactory scenario_factory(Scenario s, const ScenarioConfig& cfg);
 
 }  // namespace hinet

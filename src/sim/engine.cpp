@@ -39,16 +39,35 @@ std::string SimMetrics::to_string() const {
   return os.str();
 }
 
+Engine::Engine(SimulationSpec spec)
+    : owned_network_(std::move(spec.network)),
+      owned_hierarchy_(std::move(spec.hierarchy)),
+      owned_channel_(std::move(spec.channel)),
+      owned_config_(spec.engine),
+      owning_(true),
+      net_(owned_network_.get()),
+      hierarchy_(owned_hierarchy_.get()),
+      flat_view_(owned_network_ != nullptr ? owned_network_->node_count() : 0),
+      processes_(std::move(spec.processes)),
+      channel_(owned_channel_.get()) {
+  HINET_REQUIRE(net_ != nullptr, "SimulationSpec must own a network");
+  validate();
+}
+
 Engine::Engine(DynamicNetwork& net, HierarchyProvider* hierarchy,
                std::vector<ProcessPtr> processes)
-    : net_(net),
+    : net_(&net),
       hierarchy_(hierarchy),
       flat_view_(net.node_count()),
       processes_(std::move(processes)) {
-  HINET_REQUIRE(processes_.size() == net_.node_count(),
+  validate();
+}
+
+void Engine::validate() const {
+  HINET_REQUIRE(processes_.size() == net_->node_count(),
                 "one process per node required");
   if (hierarchy_ != nullptr) {
-    HINET_REQUIRE(hierarchy_->node_count() == net_.node_count(),
+    HINET_REQUIRE(hierarchy_->node_count() == net_->node_count(),
                   "hierarchy and topology node counts differ");
   }
   for (const auto& p : processes_) {
@@ -71,10 +90,17 @@ std::size_t Engine::complete_count() const {
   return n;
 }
 
+SimMetrics Engine::run() {
+  HINET_REQUIRE(owning_,
+                "Engine::run() without a config requires a spec-owning "
+                "engine; borrowing engines must pass an EngineConfig");
+  return run(owned_config_);
+}
+
 SimMetrics Engine::run(const EngineConfig& cfg) {
   HINET_REQUIRE(!ran_, "Engine::run is single-shot");
   ran_ = true;
-  const std::size_t n = net_.node_count();
+  const std::size_t n = net_->node_count();
 
   SimMetrics metrics;
   metrics.per_node_tx_tokens.assign(n, 0);
@@ -83,7 +109,7 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
   std::vector<Packet> inbox;
 
   for (Round r = 0; r < cfg.max_rounds; ++r) {
-    const Graph& g = net_.graph_at(r);
+    const Graph& g = net_->graph_at(r);
     const HierarchyView& h =
         hierarchy_ != nullptr ? hierarchy_->hierarchy_at(r) : flat_view_;
     HINET_REQUIRE(g.node_count() == n, "round graph node count changed");

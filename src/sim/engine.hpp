@@ -12,6 +12,14 @@
 // The engine is strictly deterministic: processes are stepped in node-id
 // order and packet inboxes are ordered by sender id, so a (trace, seed)
 // pair reproduces byte-identical metrics.
+//
+// Two ownership modes:
+//   - spec-owning (preferred): Engine(SimulationSpec) takes the whole run
+//     — network, hierarchy, channel, processes, config — so the engine's
+//     lifetime alone keeps every dependency alive;
+//   - borrowing: Engine(net, hierarchy, processes) references
+//     caller-owned topology, for unit tests and tools that inspect the
+//     trace after the run.
 #pragma once
 
 #include <functional>
@@ -20,21 +28,9 @@
 #include "cluster/hierarchy.hpp"
 #include "graph/dynamic.hpp"
 #include "sim/channel.hpp"
-#include "sim/metrics.hpp"
-#include "sim/process.hpp"
+#include "sim/spec.hpp"
 
 namespace hinet {
-
-struct EngineConfig {
-  /// Hard cap on executed rounds.
-  std::size_t max_rounds = 0;
-
-  /// Stop as soon as every node knows every token (after completing the
-  /// round).  When false the engine always runs max_rounds rounds, which
-  /// measures the algorithm's *scheduled* cost rather than its oracle
-  /// stopping time.
-  bool stop_when_complete = true;
-};
 
 /// Observer invoked after each round with that round's packets; used by
 /// trace recording and the walkthrough bench.  Return value ignored.
@@ -44,27 +40,45 @@ using RoundObserver =
 
 class Engine {
  public:
-  /// `hierarchy` may be null for flat (non-clustered) algorithms; the
-  /// engine then presents an all-unaffiliated view.
+  /// Spec-owning mode: consumes the spec; the engine owns every part of
+  /// the run.  The spec's channel (if any) is installed automatically.
+  explicit Engine(SimulationSpec spec);
+
+  /// Borrowing mode: `net` (and `hierarchy`, which may be null for flat
+  /// algorithms) must outlive the engine; the caller keeps ownership.
   Engine(DynamicNetwork& net, HierarchyProvider* hierarchy,
          std::vector<ProcessPtr> processes);
 
-  /// Runs the simulation; callable once per Engine instance.
+  /// Runs the simulation.  Single-shot: a second call on the same engine
+  /// is a hard PreconditionError (processes hold consumed per-run state,
+  /// so re-running would silently measure garbage).
   SimMetrics run(const EngineConfig& cfg);
+
+  /// Spec-owning mode only: runs with the owned spec's engine config.
+  SimMetrics run();
 
   void set_observer(RoundObserver obs) { observer_ = std::move(obs); }
 
   /// Installs a failure-injecting channel; the engine does not own it.
-  /// Default: perfect delivery (the paper's model).
+  /// Default: perfect delivery (the paper's model).  A spec-owning engine
+  /// installs (and owns) its spec's channel instead.
   void set_channel(ChannelModel* channel) { channel_ = channel; }
 
   const Process& process(NodeId v) const { return *processes_[v]; }
 
  private:
+  void validate() const;
   bool all_complete() const;
   std::size_t complete_count() const;
 
-  DynamicNetwork& net_;
+  // Owned storage (spec-owning mode only; empty when borrowing).
+  std::unique_ptr<DynamicNetwork> owned_network_;
+  std::unique_ptr<HierarchyProvider> owned_hierarchy_;
+  std::unique_ptr<ChannelModel> owned_channel_;
+  EngineConfig owned_config_;
+  bool owning_ = false;
+
+  DynamicNetwork* net_;
   HierarchyProvider* hierarchy_;
   HierarchyView flat_view_;
   std::vector<ProcessPtr> processes_;

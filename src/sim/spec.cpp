@@ -1,0 +1,12 @@
+#include "sim/spec.hpp"
+
+#include "sim/engine.hpp"
+
+namespace hinet {
+
+SimMetrics run_simulation(SimulationSpec spec) {
+  Engine engine(std::move(spec));
+  return engine.run();
+}
+
+}  // namespace hinet

@@ -1,0 +1,58 @@
+// SimulationSpec: a complete, self-owning description of one simulation
+// run — the value-semantic replacement for the old PreparedRun's
+// type-erased `shared_ptr<void> holder` + raw borrow pointers.
+//
+// A spec owns its dynamic network, optional hierarchy provider, optional
+// channel model, per-node processes and engine configuration.  Because
+// nothing inside a spec aliases outside storage, a spec can be built on
+// one thread and executed on another, which is what makes the batch
+// experiment executor (analysis/experiment.hpp) safe to parallelise.
+//
+// Specs are move-only: ownership of a run is transferred, never shared.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+#include "graph/dynamic.hpp"
+#include "sim/channel.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+
+namespace hinet {
+
+struct EngineConfig {
+  /// Hard cap on executed rounds.
+  std::size_t max_rounds = 0;
+
+  /// Stop as soon as every node knows every token (after completing the
+  /// round).  When false the engine always runs max_rounds rounds, which
+  /// measures the algorithm's *scheduled* cost rather than its oracle
+  /// stopping time.
+  bool stop_when_complete = true;
+};
+
+struct SimulationSpec {
+  /// The per-round communication graphs.  Required.
+  std::unique_ptr<DynamicNetwork> network;
+
+  /// Per-round roles/clusters; null for flat (non-clustered) algorithms.
+  std::unique_ptr<HierarchyProvider> hierarchy;
+
+  /// Failure-injecting medium; null means perfect delivery (the paper's
+  /// model, zero-overhead path).
+  std::unique_ptr<ChannelModel> channel;
+
+  /// One process per node, in node-id order.
+  std::vector<ProcessPtr> processes;
+
+  EngineConfig engine;
+};
+
+/// Consumes the spec and executes it to completion on a fresh engine.
+/// Throws PreconditionError when the spec has no network or the processes
+/// do not match the network's node count.
+SimMetrics run_simulation(SimulationSpec spec);
+
+}  // namespace hinet

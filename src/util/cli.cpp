@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace hinet {
 
@@ -79,6 +80,15 @@ std::string CliArgs::get_string(const std::string& name, const std::string& def,
   registered_.push_back({name, def, description});
   auto v = raw(name);
   return v ? *v : def;
+}
+
+std::size_t CliArgs::get_jobs() {
+  const std::int64_t raw_jobs = get_int(
+      "jobs", 0,
+      "worker threads for repetition batches (0 = hardware concurrency)");
+  if (raw_jobs > 0) return static_cast<std::size_t>(raw_jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
 std::string CliArgs::usage(const std::string& program_summary) const {

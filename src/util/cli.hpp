@@ -33,6 +33,11 @@ class CliArgs {
   std::string get_string(const std::string& name, const std::string& def,
                          const std::string& description);
 
+  /// Registers the conventional "--jobs" option (worker threads for
+  /// repetition batches) and returns its value with 0/default resolved to
+  /// the hardware concurrency.  Always >= 1.
+  std::size_t get_jobs();
+
   /// Usage text built from every getter called so far.
   std::string usage(const std::string& program_summary) const;
 

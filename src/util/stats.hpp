@@ -41,6 +41,10 @@ struct Summary {
   double p50 = 0.0;
   double p95 = 0.0;
 
+  /// Bitwise field equality (modulo ±0); lets the experiment harness
+  /// assert that serial and parallel batches aggregated identically.
+  friend bool operator==(const Summary&, const Summary&) = default;
+
   std::string to_string() const;
 };
 

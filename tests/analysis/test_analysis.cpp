@@ -77,9 +77,9 @@ TEST(Experiment, AggregatesDeterministicRuns) {
   EXPECT_NE(s.find("delivery=100"), std::string::npos);
 }
 
-TEST(Experiment, RunOnceRequiresNetwork) {
-  PreparedRun run;
-  EXPECT_THROW(run_once(std::move(run)), PreconditionError);
+TEST(Experiment, RunSimulationRequiresNetwork) {
+  SimulationSpec spec;  // no network, no processes
+  EXPECT_THROW(run_simulation(std::move(spec)), PreconditionError);
 }
 
 TEST(Scenario, NamesAreDistinct) {
@@ -119,7 +119,7 @@ TEST(Scenario, EveryScenarioDeliversAtDefaults) {
        {Scenario::kKloInterval, Scenario::kHiNetInterval,
         Scenario::kHiNetIntervalStable, Scenario::kKloOne,
         Scenario::kHiNetOne}) {
-    const SimMetrics m = run_once(make_scenario(s, cfg, 11).run);
+    const SimMetrics m = run_simulation(make_scenario(s, cfg, 11).spec);
     EXPECT_TRUE(m.all_delivered) << scenario_name(s);
   }
 }
@@ -139,18 +139,18 @@ TEST_P(HeadlineClaim, HiNetBeatsKloOnCommunication) {
   cfg.hop_l = 2;
   cfg.reaffiliation_prob = 0.05;
 
-  const SimMetrics klo_i =
-      run_once(make_scenario(Scenario::kKloInterval, cfg, GetParam()).run);
-  const SimMetrics hi_i =
-      run_once(make_scenario(Scenario::kHiNetInterval, cfg, GetParam()).run);
+  const SimMetrics klo_i = run_simulation(
+      make_scenario(Scenario::kKloInterval, cfg, GetParam()).spec);
+  const SimMetrics hi_i = run_simulation(
+      make_scenario(Scenario::kHiNetInterval, cfg, GetParam()).spec);
   ASSERT_TRUE(klo_i.all_delivered);
   ASSERT_TRUE(hi_i.all_delivered);
   EXPECT_LT(hi_i.tokens_sent, klo_i.tokens_sent);
 
   const SimMetrics klo_1 =
-      run_once(make_scenario(Scenario::kKloOne, cfg, GetParam()).run);
+      run_simulation(make_scenario(Scenario::kKloOne, cfg, GetParam()).spec);
   const SimMetrics hi_1 =
-      run_once(make_scenario(Scenario::kHiNetOne, cfg, GetParam()).run);
+      run_simulation(make_scenario(Scenario::kHiNetOne, cfg, GetParam()).spec);
   ASSERT_TRUE(klo_1.all_delivered);
   ASSERT_TRUE(hi_1.all_delivered);
   EXPECT_LT(hi_1.tokens_sent, klo_1.tokens_sent);
@@ -175,12 +175,12 @@ TEST(Scenario, MeasuredCommunicationRespectsAnalyticBound) {
     // initial (first-affiliation) upload is one extra round of member
     // sends, so bound with n_r + 1 (see EXPERIMENTS.md).
     analytic.n_r += 1;
-    const SimMetrics m = run_once(std::move(sr.run));
+    const SimMetrics m = run_simulation(std::move(sr.spec));
     ASSERT_TRUE(m.all_delivered);
     EXPECT_LE(m.tokens_sent, comm_hinet_interval(analytic)) << "seed " << seed;
 
     ScenarioRun kr = make_scenario(Scenario::kKloInterval, cfg, seed);
-    const SimMetrics km = run_once(std::move(kr.run));
+    const SimMetrics km = run_simulation(std::move(kr.spec));
     ASSERT_TRUE(km.all_delivered);
     EXPECT_LE(km.tokens_sent, comm_klo_interval(kr.analytic))
         << "seed " << seed;

@@ -119,8 +119,8 @@ TEST(Determinism, ScenariosAreBitStablePerSeed) {
   for (Scenario s : {Scenario::kKloInterval, Scenario::kHiNetInterval,
                      Scenario::kHiNetIntervalStable, Scenario::kKloOne,
                      Scenario::kHiNetOne}) {
-    const SimMetrics a = run_once(make_scenario(s, cfg, 77).run);
-    const SimMetrics b = run_once(make_scenario(s, cfg, 77).run);
+    const SimMetrics a = run_simulation(make_scenario(s, cfg, 77).spec);
+    const SimMetrics b = run_simulation(make_scenario(s, cfg, 77).spec);
     EXPECT_EQ(a.tokens_sent, b.tokens_sent) << scenario_name(s);
     EXPECT_EQ(a.packets_sent, b.packets_sent) << scenario_name(s);
     EXPECT_EQ(a.rounds_to_completion, b.rounds_to_completion)
@@ -137,8 +137,10 @@ TEST(Determinism, DifferentSeedsDifferentTraces) {
   cfg.k = 4;
   cfg.alpha = 2;
   cfg.hop_l = 2;
-  const SimMetrics a = run_once(make_scenario(Scenario::kHiNetOne, cfg, 1).run);
-  const SimMetrics b = run_once(make_scenario(Scenario::kHiNetOne, cfg, 2).run);
+  const SimMetrics a =
+      run_simulation(make_scenario(Scenario::kHiNetOne, cfg, 1).spec);
+  const SimMetrics b =
+      run_simulation(make_scenario(Scenario::kHiNetOne, cfg, 2).spec);
   // Not a hard guarantee, but with churn and random assignment an
   // identical outcome across seeds would indicate a plumbing bug.
   EXPECT_NE(a.tokens_sent, b.tokens_sent);
@@ -171,7 +173,7 @@ TEST(ScenarioEdge, TinyNetworkStillRuns) {
   cfg.alpha = 1;
   cfg.hop_l = 1;
   for (Scenario s : {Scenario::kHiNetInterval, Scenario::kHiNetOne}) {
-    const SimMetrics m = run_once(make_scenario(s, cfg, 3).run);
+    const SimMetrics m = run_simulation(make_scenario(s, cfg, 3).spec);
     EXPECT_TRUE(m.all_delivered) << scenario_name(s);
   }
 }

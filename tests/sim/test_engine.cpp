@@ -168,6 +168,56 @@ TEST(Engine, RunIsSingleShot) {
                PreconditionError);
 }
 
+TEST(Engine, SpecOwningEngineRunsWithOwnConfig) {
+  SimulationSpec spec;
+  spec.network = std::make_unique<StaticNetwork>(gen::path(5));
+  spec.processes = echo_processes(5, 2, 0);
+  spec.engine.max_rounds = 10;
+  spec.engine.stop_when_complete = true;
+  Engine engine(std::move(spec));
+  const SimMetrics m = engine.run();
+  EXPECT_TRUE(m.all_delivered);
+  EXPECT_EQ(m.rounds_to_completion, 4u);
+}
+
+TEST(Engine, SpecOwningEngineRunIsSingleShot) {
+  SimulationSpec spec;
+  spec.network = std::make_unique<StaticNetwork>(gen::path(2));
+  spec.processes = echo_processes(2, 1, 0);
+  spec.engine.max_rounds = 1;
+  Engine engine(std::move(spec));
+  engine.run();
+  EXPECT_THROW(engine.run(), PreconditionError);
+}
+
+TEST(Engine, BorrowingEngineRejectsArglessRun) {
+  StaticNetwork net(gen::path(2));
+  Engine engine(net, nullptr, echo_processes(2, 1, 0));
+  EXPECT_THROW(engine.run(), PreconditionError);
+}
+
+TEST(Engine, SpecRequiresNetwork) {
+  SimulationSpec spec;
+  spec.processes = echo_processes(2, 1, 0);
+  EXPECT_THROW(Engine{std::move(spec)}, PreconditionError);
+}
+
+TEST(Engine, SpecOwnedChannelIsApplied) {
+  // A channel dropping everything: delivery must never happen.
+  class BlackholeChannel final : public ChannelModel {
+   public:
+    bool deliver(Round, const Packet&, NodeId) override { return false; }
+  };
+  SimulationSpec spec;
+  spec.network = std::make_unique<StaticNetwork>(gen::path(2));
+  spec.processes = echo_processes(2, 1, 0);
+  spec.channel = std::make_unique<BlackholeChannel>();
+  spec.engine.max_rounds = 5;
+  Engine engine(std::move(spec));
+  const SimMetrics m = engine.run();
+  EXPECT_FALSE(m.all_delivered);
+}
+
 TEST(Engine, RejectsWrongProcessCount) {
   StaticNetwork net(gen::path(3));
   EXPECT_THROW(Engine(net, nullptr, echo_processes(2, 1, 0)),
