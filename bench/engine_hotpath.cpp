@@ -1,0 +1,155 @@
+// Engine delivery hot-path benchmark.
+//
+// Measures the per-round delivery machinery itself (send step, channel,
+// inbox construction, receive step, completion tracking) with the most
+// delivery-heavy workload in the repo: KLO full-broadcast flooding on a
+// (1, L)-HiNet trace, where every node transmits its whole token set every
+// round.  Trace generation and process construction happen outside the
+// timed region, so rounds/sec and delivered-tokens/sec reflect Engine::run
+// alone.  Results go to stdout and, with --out, to a BENCH_*.json file;
+// BENCH_engine_hotpath.json keeps the pre-refactor baseline next to the
+// current numbers.
+#include "common.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <numeric>
+
+#include "baseline/klo.hpp"
+#include "core/hinet_generator.hpp"
+#include "sim/engine.hpp"
+
+using namespace hinet;
+
+namespace {
+
+struct Point {
+  std::size_t nodes = 0;
+  std::size_t rounds = 0;
+  double seconds = 0.0;             ///< best-of-reps wall time of Engine::run
+  double rounds_per_second = 0.0;
+  std::size_t delivered_tokens = 0; ///< Σ per_node_rx_tokens of one run
+  double delivered_tokens_per_second = 0.0;
+  std::size_t tokens_sent = 0;
+};
+
+SimulationSpec build_spec(std::size_t nodes, std::size_t rounds, std::size_t k,
+                          std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.nodes = nodes;
+  cfg.heads = std::max<std::size_t>(2, nodes / 8);
+  cfg.k = k;
+  cfg.alpha = 2;
+  cfg.hop_l = 2;
+  HiNetConfig gen = scenario_generator(Scenario::kKloOne, cfg, seed);
+  gen.phases = rounds;  // shorten the trace to the measured horizon
+  HiNetTrace trace = make_hinet_trace(gen);
+
+  Rng assign_rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  const auto initial =
+      assign_tokens(nodes, k, AssignmentMode::kDistinctRandom, assign_rng);
+
+  KloFloodParams p;
+  p.k = k;
+  p.rounds = rounds;
+
+  SimulationSpec spec;
+  spec.network =
+      std::make_unique<GraphSequence>(std::move(trace.ctvg.topology()));
+  spec.processes = make_klo_flood_processes(initial, p);
+  spec.engine.max_rounds = rounds;
+  spec.engine.stop_when_complete = false;
+  return spec;
+}
+
+Point measure(std::size_t nodes, std::size_t rounds, std::size_t k,
+              std::uint64_t seed, std::size_t reps) {
+  Point pt;
+  pt.nodes = nodes;
+  pt.rounds = rounds;
+  pt.seconds = -1.0;
+  for (std::size_t rep = 0; rep < reps + 1; ++rep) {
+    SimulationSpec spec = build_spec(nodes, rounds, k, seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimMetrics m = run_simulation(std::move(spec));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0) continue;  // warm-up
+    if (pt.seconds < 0.0 || secs < pt.seconds) pt.seconds = secs;
+    pt.delivered_tokens = std::accumulate(m.per_node_rx_tokens.begin(),
+                                          m.per_node_rx_tokens.end(),
+                                          std::size_t{0});
+    pt.tokens_sent = m.tokens_sent;
+    HINET_ENSURE(m.rounds_executed == rounds, "bench ran short");
+  }
+  pt.rounds_per_second = static_cast<double>(rounds) / pt.seconds;
+  pt.delivered_tokens_per_second =
+      static_cast<double>(pt.delivered_tokens) / pt.seconds;
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto reps = static_cast<std::size_t>(
+      args.get_int("reps", 3, "timed repetitions per size (best is kept)"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1, "trace seed"));
+  const auto k = static_cast<std::size_t>(
+      args.get_int("k", 16, "token universe size"));
+  const auto only_nodes = static_cast<std::size_t>(args.get_int(
+      "nodes", 0, "measure a single network size (0 = the full sweep)"));
+  const std::string out_path = args.get_string(
+      "out", "", "write BENCH json to this path (empty = stdout only)");
+
+  return bench::run_main(args, "engine delivery hot-path throughput", [&] {
+    struct Size {
+      std::size_t nodes;
+      std::size_t rounds;
+    };
+    std::vector<Size> sizes;
+    if (only_nodes != 0) {
+      sizes.push_back({only_nodes, std::min(only_nodes - 1,
+                                            static_cast<std::size_t>(150))});
+    } else {
+      sizes = {{100, 99}, {400, 150}, {1000, 120}};
+    }
+
+    std::cout << "=== Engine delivery hot path (KLO flood on (1, L)-HiNet, "
+                 "k=" << k << ", seed=" << seed << ") ===\n\n";
+    TextTable t({"n", "rounds", "wall s", "rounds/s", "delivered tok/s",
+                 "tokens sent"});
+    std::vector<Point> points;
+    for (const Size& s : sizes) {
+      const Point p = measure(s.nodes, s.rounds, k, seed, reps);
+      t.add(p.nodes, p.rounds, p.seconds, p.rounds_per_second,
+            p.delivered_tokens_per_second, p.tokens_sent);
+      points.push_back(p);
+    }
+    std::cout << t;
+
+    if (!out_path.empty()) {
+      std::ofstream f(out_path);
+      f << "{\n";
+      f << "  \"bench\": \"engine_hotpath\",\n";
+      f << "  \"workload\": \"klo_flood_on_hinet_one_trace\",\n";
+      f << "  \"k\": " << k << ",\n";
+      f << "  \"seed\": " << seed << ",\n";
+      f << "  \"reps\": " << reps << ",\n";
+      f << "  \"points\": [\n";
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& p = points[i];
+        f << "    {\"nodes\": " << p.nodes << ", \"rounds\": " << p.rounds
+          << ", \"seconds\": " << p.seconds
+          << ", \"rounds_per_second\": " << p.rounds_per_second
+          << ", \"delivered_tokens_per_second\": "
+          << p.delivered_tokens_per_second
+          << ", \"tokens_sent\": " << p.tokens_sent << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+      }
+      f << "  ]\n}\n";
+      std::cout << "\nJSON written to " << out_path << '\n';
+    }
+  });
+}

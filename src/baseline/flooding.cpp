@@ -36,10 +36,9 @@ std::optional<Packet> FloodingProcess::transmit(const RoundContext& ctx) {
   return pkt;
 }
 
-void FloodingProcess::receive(const RoundContext& ctx,
-                              std::span<const Packet> inbox) {
-  for (const Packet& pkt : inbox) {
-    for (TokenId t : pkt.tokens.to_vector()) {
+void FloodingProcess::receive(const RoundContext& ctx, InboxView inbox) {
+  for (PacketView pkt : inbox) {
+    for (TokenId t : pkt->tokens.to_vector()) {
       if (ta_.insert(t)) {
         // Newly learned in round r: active for rounds r+1 .. r+activity.
         learned_at_[t] = ctx.round + 1;

@@ -36,12 +36,11 @@ std::optional<Packet> GossipProcess::transmit(const RoundContext& ctx) {
   return pkt;
 }
 
-void GossipProcess::receive(const RoundContext& ctx,
-                            std::span<const Packet> inbox) {
+void GossipProcess::receive(const RoundContext& ctx, InboxView inbox) {
   // Push gossip is addressed: only the chosen target consumes the payload.
-  for (const Packet& pkt : inbox) {
-    if (pkt.dest == ctx.self || pkt.dest == kBroadcastDest) {
-      ta_.unite(pkt.tokens);
+  for (PacketView pkt : inbox) {
+    if (pkt->dest == ctx.self || pkt->dest == kBroadcastDest) {
+      ta_.unite(pkt->tokens);
     }
   }
 }

@@ -25,8 +25,7 @@ class GossipProcess final : public Process {
   GossipProcess(NodeId self, TokenSet initial, const GossipParams& params);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   const TokenSet& knowledge() const override { return ta_; }
   bool finished(const RoundContext& ctx) const override;
 

@@ -22,9 +22,8 @@ std::optional<Packet> KloFloodProcess::transmit(const RoundContext&) {
   return pkt;
 }
 
-void KloFloodProcess::receive(const RoundContext&,
-                              std::span<const Packet> inbox) {
-  for (const Packet& pkt : inbox) ta_.unite(pkt.tokens);
+void KloFloodProcess::receive(const RoundContext&, InboxView inbox) {
+  for (PacketView pkt : inbox) ta_.unite(pkt->tokens);
 }
 
 KloPipelineProcess::KloPipelineProcess(NodeId self, TokenSet initial,
@@ -58,9 +57,8 @@ std::optional<Packet> KloPipelineProcess::transmit(const RoundContext& ctx) {
   return pkt;
 }
 
-void KloPipelineProcess::receive(const RoundContext&,
-                                 std::span<const Packet> inbox) {
-  for (const Packet& pkt : inbox) ta_.unite(pkt.tokens);
+void KloPipelineProcess::receive(const RoundContext&, InboxView inbox) {
+  for (PacketView pkt : inbox) ta_.unite(pkt->tokens);
 }
 
 std::vector<ProcessPtr> make_klo_flood_processes(

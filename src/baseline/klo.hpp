@@ -31,8 +31,7 @@ class KloFloodProcess final : public Process {
   KloFloodProcess(NodeId self, TokenSet initial, const KloFloodParams& params);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   const TokenSet& knowledge() const override { return ta_; }
   bool finished(const RoundContext& ctx) const override;
 
@@ -54,8 +53,7 @@ class KloPipelineProcess final : public Process {
                      const KloPipelineParams& params);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   const TokenSet& knowledge() const override { return ta_; }
   bool finished(const RoundContext& ctx) const override;
 

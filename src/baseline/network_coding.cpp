@@ -111,11 +111,10 @@ std::optional<Packet> NetworkCodingProcess::transmit(const RoundContext&) {
   return pkt;
 }
 
-void NetworkCodingProcess::receive(const RoundContext&,
-                                   std::span<const Packet> inbox) {
+void NetworkCodingProcess::receive(const RoundContext&, InboxView inbox) {
   bool grew = false;
-  for (const Packet& pkt : inbox) {
-    const auto words = pkt.tokens.words();
+  for (PacketView pkt : inbox) {
+    const auto words = pkt->tokens.words();
     grew |= basis_.insert({words.begin(), words.end()});
   }
   if (grew) refresh_decoded();

@@ -75,8 +75,7 @@ class NetworkCodingProcess final : public Process {
                        const NetworkCodingParams& params);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   /// Decodable tokens (full TA once the basis reaches full rank).
   const TokenSet& knowledge() const override { return decoded_; }
   bool finished(const RoundContext& ctx) const override;

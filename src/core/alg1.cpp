@@ -92,21 +92,20 @@ std::optional<Packet> Alg1Process::transmit(const RoundContext& ctx) {
   return std::nullopt;
 }
 
-void Alg1Process::receive(const RoundContext& ctx,
-                          std::span<const Packet> inbox) {
+void Alg1Process::receive(const RoundContext& ctx, InboxView inbox) {
   maybe_start_phase(ctx);  // receive may run before transmit on a finished
                            // node's phase boundary; keep state consistent
   switch (ctx.role()) {
     case NodeRole::kHead:
     case NodeRole::kGateway:
-      for (const Packet& pkt : inbox) ta_.unite(pkt.tokens);
+      for (PacketView pkt : inbox) ta_.unite(pkt->tokens);
       break;
     case NodeRole::kMember: {
       const ClusterId head = ctx.cluster();
-      for (const Packet& pkt : inbox) {
-        if (pkt.src == head) {
-          ta_.unite(pkt.tokens);
-          tr_.unite(pkt.tokens);
+      for (PacketView pkt : inbox) {
+        if (pkt->src == head) {
+          ta_.unite(pkt->tokens);
+          tr_.unite(pkt->tokens);
         }
       }
       break;

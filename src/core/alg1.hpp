@@ -52,8 +52,7 @@ class Alg1Process final : public Process {
   Alg1Process(NodeId self, TokenSet initial, const Alg1Params& params);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   const TokenSet& knowledge() const override { return ta_; }
   bool finished(const RoundContext& ctx) const override;
 

@@ -47,11 +47,11 @@ std::optional<Packet> Alg2Process::transmit(const RoundContext& ctx) {
   return std::nullopt;
 }
 
-void Alg2Process::receive(const RoundContext&, std::span<const Packet> inbox) {
+void Alg2Process::receive(const RoundContext&, InboxView inbox) {
   // Fig. 5: every role unions everything heard ("receive S1,...,St from
   // neighbors; TA <- TA ∪ S1 ∪ ... ∪ St").
   std::size_t learned = 0;
-  for (const Packet& pkt : inbox) learned += ta_.unite(pkt.tokens);
+  for (PacketView pkt : inbox) learned += ta_.unite(pkt->tokens);
   if (learned == 0) {
     ++quiet_rounds_;
   } else {

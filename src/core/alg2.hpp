@@ -32,8 +32,7 @@ class Alg2Process final : public Process {
   Alg2Process(NodeId self, TokenSet initial, const Alg2Params& params);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   const TokenSet& knowledge() const override { return ta_; }
   bool finished(const RoundContext& ctx) const override;
 

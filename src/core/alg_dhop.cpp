@@ -54,8 +54,8 @@ std::optional<Packet> DhopProcess::transmit(const RoundContext& ctx) {
   return pkt;
 }
 
-void DhopProcess::receive(const RoundContext&, std::span<const Packet> inbox) {
-  for (const Packet& pkt : inbox) ta_.unite(pkt.tokens);
+void DhopProcess::receive(const RoundContext&, InboxView inbox) {
+  for (PacketView pkt : inbox) ta_.unite(pkt->tokens);
 }
 
 std::vector<ProcessPtr> make_dhop_processes(

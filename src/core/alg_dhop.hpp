@@ -36,8 +36,7 @@ class DhopProcess final : public Process {
               RoutingProvider& routing);
 
   std::optional<Packet> transmit(const RoundContext& ctx) override;
-  void receive(const RoundContext& ctx,
-               std::span<const Packet> inbox) override;
+  void receive(const RoundContext& ctx, InboxView inbox) override;
   const TokenSet& knowledge() const override { return ta_; }
   bool finished(const RoundContext& ctx) const override;
 

@@ -33,6 +33,7 @@ bool Graph::add_edge(NodeId a, NodeId b) {
   auto& nb = adj_[b];
   nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
   ++edge_count_;
+  csr_valid_ = false;
   return true;
 }
 
@@ -46,7 +47,22 @@ bool Graph::remove_edge(NodeId a, NodeId b) {
   auto& nb = adj_[b];
   nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
   --edge_count_;
+  csr_valid_ = false;
   return true;
+}
+
+void Graph::ensure_csr() const {
+  if (csr_valid_) return;
+  csr_offsets_.resize(adj_.size() + 1);
+  csr_neighbors_.resize(2 * edge_count_);
+  std::uint32_t cursor = 0;
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    csr_offsets_[v] = cursor;
+    std::copy(adj_[v].begin(), adj_[v].end(), csr_neighbors_.begin() + cursor);
+    cursor += static_cast<std::uint32_t>(adj_[v].size());
+  }
+  csr_offsets_[adj_.size()] = cursor;
+  csr_valid_ = true;
 }
 
 bool Graph::has_edge(NodeId a, NodeId b) const {
@@ -58,7 +74,9 @@ bool Graph::has_edge(NodeId a, NodeId b) const {
 
 std::span<const NodeId> Graph::neighbors(NodeId v) const {
   check_node(v);
-  return adj_[v];
+  ensure_csr();
+  return std::span<const NodeId>(csr_neighbors_.data() + csr_offsets_[v],
+                                 csr_offsets_[v + 1] - csr_offsets_[v]);
 }
 
 std::vector<Edge> Graph::edges() const {
@@ -74,6 +92,7 @@ std::vector<Edge> Graph::edges() const {
 
 std::vector<int> Graph::distances_from(NodeId source) const {
   check_node(source);
+  ensure_csr();
   std::vector<int> dist(adj_.size(), -1);
   std::queue<NodeId> q;
   dist[source] = 0;
@@ -81,7 +100,7 @@ std::vector<int> Graph::distances_from(NodeId source) const {
   while (!q.empty()) {
     const NodeId u = q.front();
     q.pop();
-    for (NodeId v : adj_[u]) {
+    for (NodeId v : neighbors(u)) {
       if (dist[v] < 0) {
         dist[v] = dist[u] + 1;
         q.push(v);
@@ -115,6 +134,7 @@ bool Graph::is_connected_subset(std::span<const NodeId> subset) const {
 }
 
 std::vector<std::uint32_t> Graph::components() const {
+  ensure_csr();
   std::vector<std::uint32_t> label(adj_.size(),
                                    std::numeric_limits<std::uint32_t>::max());
   std::uint32_t next = 0;
@@ -126,7 +146,7 @@ std::vector<std::uint32_t> Graph::components() const {
     while (!q.empty()) {
       const NodeId u = q.front();
       q.pop();
-      for (NodeId v : adj_[u]) {
+      for (NodeId v : neighbors(u)) {
         if (label[v] == std::numeric_limits<std::uint32_t>::max()) {
           label[v] = next;
           q.push(v);

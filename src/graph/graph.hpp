@@ -3,10 +3,21 @@
 // and per-round set algebra (intersection/union) used by the T-interval
 // connectivity checker.
 //
-// Representation: sorted adjacency vectors.  Graphs here are small (tens to
-// low thousands of nodes) but queried millions of times per experiment, so
-// membership tests are binary searches and traversals reuse scratch buffers
-// where it matters.
+// Representation: two views of the same edge set.
+//   - Build view: per-node sorted adjacency vectors, the mutation target of
+//     add_edge/remove_edge and the haystack of has_edge binary searches.
+//   - CSR view (flat offsets + one contiguous neighbour array): the primary
+//     access path.  neighbors() returns a span into the flat array, so the
+//     engine's delivery loop and every BFS walk contiguous memory.
+// The CSR is rebuilt lazily (O(n + m)) on the first query after a
+// mutation.  The rebuild mutates `mutable` cache members, so a freshly
+// mutated Graph must not be queried concurrently from several threads;
+// graphs are per-run-owned everywhere in this codebase (SimulationSpec
+// owns its trace), which makes that a non-constraint in practice.
+//
+// Graphs here are small (tens to low thousands of nodes) but queried
+// millions of times per experiment: membership tests are binary searches,
+// neighbour iteration is O(deg) over contiguous storage.
 #pragma once
 
 #include <cstdint>
@@ -54,12 +65,19 @@ class Graph {
   /// Removes an edge; returns true when it was present.
   bool remove_edge(NodeId a, NodeId b);
 
+  /// Membership test (binary search in the build view; kept for tests,
+  /// checkers and set algebra — the hot delivery path iterates CSR
+  /// neighbour spans instead).
   bool has_edge(NodeId a, NodeId b) const;
 
-  /// Sorted neighbour list of v.
+  /// Sorted neighbour list of v as a span into the flat CSR neighbour
+  /// array.  Invalidated by any mutation of the graph.
   std::span<const NodeId> neighbors(NodeId v) const;
 
-  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+  std::size_t degree(NodeId v) const {
+    check_node(v);
+    return adj_[v].size();
+  }
 
   /// All edges with u < v, sorted lexicographically.
   std::vector<Edge> edges() const;
@@ -103,9 +121,17 @@ class Graph {
 
  private:
   void check_node(NodeId v) const;
+  void ensure_csr() const;
 
   std::vector<std::vector<NodeId>> adj_;
   std::size_t edge_count_ = 0;
+
+  // CSR mirror of adj_: neighbours of v live at
+  // csr_neighbors_[csr_offsets_[v] .. csr_offsets_[v+1]), sorted.  Rebuilt
+  // lazily after mutations; mutable so const queries can refresh it.
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable std::vector<NodeId> csr_neighbors_;
+  mutable bool csr_valid_ = false;
 };
 
 /// BFS distances from `source` restricted to the subgraph induced by

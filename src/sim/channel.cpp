@@ -2,8 +2,8 @@
 
 namespace hinet {
 
-void ChannelModel::begin_round(Round, const Graph&,
-                               const std::vector<Packet>&) {}
+void ChannelModel::begin_round(Round, const Graph&, std::span<const Packet>) {
+}
 
 LossyChannel::LossyChannel(double loss, std::uint64_t seed)
     : loss_(loss), rng_(seed) {
@@ -19,12 +19,20 @@ CollisionChannel::CollisionChannel(std::size_t capture) : capture_(capture) {
 }
 
 void CollisionChannel::begin_round(Round, const Graph& g,
-                                   const std::vector<Packet>& packets) {
-  transmitting_neighbors_.assign(g.node_count(), 0);
-  for (const Packet& pkt : packets) {
-    for (NodeId v : g.neighbors(pkt.src)) {
-      ++transmitting_neighbors_[v];
+                                   std::span<const Packet> packets) {
+  // Mark the round's transmitters, then count each receiver's transmitting
+  // neighbours with one contiguous CSR sweep per node.  Both buffers are
+  // reused across rounds (assign() preserves capacity).
+  const std::size_t n = g.node_count();
+  transmitting_.assign(n, 0);
+  transmitting_neighbors_.assign(n, 0);
+  for (const Packet& pkt : packets) transmitting_[pkt.src] = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t busy = 0;
+    for (NodeId u : g.neighbors(v)) {
+      busy += static_cast<std::size_t>(transmitting_[u]);
     }
+    transmitting_neighbors_[v] = busy;
   }
 }
 

@@ -15,6 +15,7 @@
 // All models are deterministic per seed.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/dynamic.hpp"
@@ -30,10 +31,13 @@ class ChannelModel {
   /// Called once at the start of each round with that round's graph and
   /// the full transmission list (for interference models).
   virtual void begin_round(Round r, const Graph& g,
-                           const std::vector<Packet>& packets);
+                           std::span<const Packet> packets);
 
   /// True when `receiver` successfully hears `pkt` this round.  Called
-  /// only for (packet, receiver) pairs that are graph neighbours.
+  /// only for (packet, receiver) pairs that are graph neighbours, in
+  /// receiver-major order (receivers ascending; per receiver, packets in
+  /// sender order) — stateful channels (LossyChannel's RNG stream) depend
+  /// on that order for per-seed determinism.
   virtual bool deliver(Round r, const Packet& pkt, NodeId receiver) = 0;
 };
 
@@ -64,11 +68,14 @@ class CollisionChannel final : public ChannelModel {
   explicit CollisionChannel(std::size_t capture);
 
   void begin_round(Round r, const Graph& g,
-                   const std::vector<Packet>& packets) override;
+                   std::span<const Packet> packets) override;
   bool deliver(Round r, const Packet& pkt, NodeId receiver) override;
 
  private:
   std::size_t capture_;
+  // Scratch reused across rounds (assign() keeps capacity): who transmits
+  // this round, and per receiver how many of its CSR neighbours do.
+  std::vector<char> transmitting_;
   std::vector<std::size_t> transmitting_neighbors_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 namespace hinet {
@@ -78,18 +79,6 @@ void Engine::validate() const {
   }
 }
 
-bool Engine::all_complete() const {
-  return complete_count() == processes_.size();
-}
-
-std::size_t Engine::complete_count() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_) {
-    if (p->knowledge().full()) ++n;
-  }
-  return n;
-}
-
 SimMetrics Engine::run() {
   HINET_REQUIRE(owning_,
                 "Engine::run() without a config requires a spec-owning "
@@ -105,8 +94,33 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
   SimMetrics metrics;
   metrics.per_node_tx_tokens.assign(n, 0);
   metrics.per_node_rx_tokens.assign(n, 0);
-  std::vector<Packet> packets;
-  std::vector<Packet> inbox;
+  {
+    // Pre-size the per-round series (capped, so a huge max_rounds with an
+    // early stop_when_complete exit cannot over-commit memory).
+    const std::size_t cap = std::min<std::size_t>(cfg.max_rounds, 1u << 20);
+    metrics.tokens_sent_per_round.reserve(cap);
+    metrics.complete_nodes_per_round.reserve(cap);
+  }
+
+  // Per-round scratch, hoisted out of the loop and reused (clear()/assign()
+  // keep capacity): steady-state rounds perform no heap allocation here.
+  std::vector<Packet> packets;            // the round's transmissions
+  std::vector<std::size_t> packet_costs;  // cost() per packet, computed once
+  std::vector<std::uint32_t> inbox_offsets(n + 1);  // counting-sort segments
+  std::vector<std::uint32_t> inbox_cursor(n);
+  std::vector<PacketView> inbox_views;  // all inboxes, one flat array
+
+  // Incremental completion: knowledge is monotone and grows only in
+  // receive() (see Process), so scan once up front and afterwards re-check
+  // only not-yet-complete nodes right after their receive() call.
+  std::vector<char> complete(n, 0);
+  std::size_t complete_nodes = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (processes_[v]->knowledge().full()) {
+      complete[v] = 1;
+      ++complete_nodes;
+    }
+  }
 
   for (Round r = 0; r < cfg.max_rounds; ++r) {
     const Graph& g = net_->graph_at(r);
@@ -114,16 +128,20 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
         hierarchy_ != nullptr ? hierarchy_->hierarchy_at(r) : flat_view_;
     HINET_REQUIRE(g.node_count() == n, "round graph node count changed");
 
-    // Send step: node-id order for determinism.
+    // Send step: node-id order for determinism.  Each packet's cost is
+    // computed once here and reused for tx and rx accounting.
     packets.clear();
+    packet_costs.clear();
     std::size_t round_tokens = 0;
     for (NodeId v = 0; v < n; ++v) {
       RoundContext ctx{r, v, &g, &h};
       if (processes_[v]->finished(ctx)) continue;
       if (auto pkt = processes_[v]->transmit(ctx)) {
         HINET_REQUIRE(pkt->src == v, "packet src must be the sender");
-        round_tokens += pkt->cost();
-        metrics.per_node_tx_tokens[v] += pkt->cost();
+        const std::size_t cost = pkt->cost();
+        round_tokens += cost;
+        metrics.per_node_tx_tokens[v] += cost;
+        packet_costs.push_back(cost);
         packets.push_back(std::move(*pkt));
       }
     }
@@ -133,33 +151,65 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
 
     if (channel_ != nullptr) channel_->begin_round(r, g, packets);
 
-    // Receive step: each node hears packets from its G_r neighbours that
-    // survive the channel.  Packets are already sorted by sender id (send
-    // order).
+    // Delivery: sender-centric scatter.  One pass over the packet list
+    // counts each CSR neighbour's candidates, a prefix sum carves the flat
+    // view array into per-receiver segments, and a second stable pass
+    // places the views — packets are in sender order, so every segment
+    // stays sorted by sender id.
+    std::fill(inbox_offsets.begin(), inbox_offsets.end(), 0u);
+    for (const Packet& pkt : packets) {
+      for (NodeId u : g.neighbors(pkt.src)) ++inbox_offsets[u + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      inbox_offsets[v + 1] += inbox_offsets[v];
+    }
+    inbox_views.resize(inbox_offsets[n]);
+    std::copy(inbox_offsets.begin(), inbox_offsets.end() - 1,
+              inbox_cursor.begin());
+    for (const Packet& pkt : packets) {
+      for (NodeId u : g.neighbors(pkt.src)) {
+        inbox_views[inbox_cursor[u]++] = &pkt;
+      }
+    }
+
+    // Receive step: receiver-major, so stateful channels see deliver()
+    // calls in exactly the order the receiver-centric engine made them
+    // (receivers ascending, packets in sender order per receiver).
+    // Surviving views are compacted in place within each segment.
     for (NodeId v = 0; v < n; ++v) {
-      inbox.clear();
-      for (const Packet& pkt : packets) {
-        if (pkt.src == v || !g.has_edge(pkt.src, v)) continue;
-        if (channel_ != nullptr && !channel_->deliver(r, pkt, v)) continue;
-        metrics.per_node_rx_tokens[v] += pkt.cost();
-        inbox.push_back(pkt);
+      PacketView* seg = inbox_views.data() + inbox_offsets[v];
+      std::uint32_t len = inbox_offsets[v + 1] - inbox_offsets[v];
+      if (channel_ != nullptr) {
+        std::uint32_t kept = 0;
+        for (std::uint32_t i = 0; i < len; ++i) {
+          PacketView pkt = seg[i];
+          if (channel_->deliver(r, *pkt, v)) seg[kept++] = pkt;
+        }
+        len = kept;
+      }
+      for (std::uint32_t i = 0; i < len; ++i) {
+        metrics.per_node_rx_tokens[v] +=
+            packet_costs[static_cast<std::size_t>(seg[i] - packets.data())];
       }
       RoundContext ctx{r, v, &g, &h};
-      processes_[v]->receive(ctx, inbox);
+      processes_[v]->receive(ctx, InboxView(seg, len));
+      if (complete[v] == 0 && processes_[v]->knowledge().full()) {
+        complete[v] = 1;
+        ++complete_nodes;
+      }
     }
 
     if (observer_) observer_(r, packets, g, h);
 
     ++metrics.rounds_executed;
-    const std::size_t complete = complete_count();
-    metrics.complete_nodes_per_round.push_back(complete);
-    if (complete == n && metrics.rounds_to_completion == kNever) {
+    metrics.complete_nodes_per_round.push_back(complete_nodes);
+    if (complete_nodes == n && metrics.rounds_to_completion == kNever) {
       metrics.rounds_to_completion = metrics.rounds_executed;
       if (cfg.stop_when_complete) break;
     }
   }
 
-  metrics.all_delivered = all_complete();
+  metrics.all_delivered = complete_nodes == n;
   if (metrics.all_delivered && metrics.rounds_to_completion == kNever) {
     metrics.rounds_to_completion = metrics.rounds_executed;
   }

@@ -5,13 +5,28 @@
 //
 //   for each round r:
 //     1. collect transmit() from every unfinished node      (send step)
-//     2. deliver to each node all packets whose sender is a
-//        G_r-neighbour                                      (receive step)
-//     3. account costs; check global completion
+//     2. scatter each packet to its sender's G_r neighbours (delivery)
+//     3. receive() per node; account costs; track completion
 //
-// The engine is strictly deterministic: processes are stepped in node-id
-// order and packet inboxes are ordered by sender id, so a (trace, seed)
-// pair reproduces byte-identical metrics.
+// Delivery is sender-centric and zero-copy: the engine walks the round's
+// packet list once, pushing a PacketView into each CSR neighbour's inbox
+// index list (a counting-sort over receivers — O(Σ deg(sender)) instead
+// of the receiver-centric O(n · packets) edge probing, with no per-packet
+// TokenSet copies).  Because packets are collected in sender order and the
+// scatter is stable, every inbox stays sorted by sender id — the ordering
+// the determinism guarantee and the algorithms' tie-breaking rely on.
+// Channel filtering runs receiver-major over the prebuilt lists, which
+// preserves the exact deliver() call order (and hence RNG draw order) of
+// the receiver-centric engine: a (trace, seed) pair reproduces
+// byte-identical metrics across engine generations.
+//
+// Completion is tracked incrementally: knowledge is monotone and grows
+// only in receive() (see Process), so each node is checked once per round
+// with an O(1) TokenSet::full() and never re-scanned once complete.
+//
+// All per-round scratch (packet buffer, per-packet costs, inbox offsets /
+// cursors / view lists) is hoisted out of the round loop and reused, so a
+// steady-state round performs no heap allocation inside the engine.
 //
 // Two ownership modes:
 //   - spec-owning (preferred): Engine(SimulationSpec) takes the whole run
@@ -32,11 +47,11 @@
 
 namespace hinet {
 
-/// Observer invoked after each round with that round's packets; used by
-/// trace recording and the walkthrough bench.  Return value ignored.
-using RoundObserver =
-    std::function<void(Round, const std::vector<Packet>&, const Graph&,
-                       const HierarchyView&)>;
+/// Observer invoked after each round with a view of that round's packets
+/// (valid only during the call); used by trace recording and the
+/// walkthrough bench.  Return value ignored.
+using RoundObserver = std::function<void(Round, std::span<const Packet>,
+                                         const Graph&, const HierarchyView&)>;
 
 class Engine {
  public:
@@ -68,8 +83,6 @@ class Engine {
 
  private:
   void validate() const;
-  bool all_complete() const;
-  std::size_t complete_count() const;
 
   // Owned storage (spec-owning mode only; empty when borrowing).
   std::unique_ptr<DynamicNetwork> owned_network_;

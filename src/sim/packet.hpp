@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "graph/graph.hpp"
 #include "util/token_set.hpp"
@@ -35,5 +36,17 @@ struct Packet {
     return wire_tokens ? *wire_tokens : tokens.count();
   }
 };
+
+/// Non-owning view of one transmitted packet: a pointer into the engine's
+/// per-round packet buffer.  The delivery path hands these out instead of
+/// copying packets (a Packet copy heap-allocates its TokenSet), so a
+/// delivery is one pointer push.
+using PacketView = const Packet*;
+
+/// One round's inbox as delivered to Process::receive: views into the
+/// round's packet buffer, sorted by sender id.  Both the span and the
+/// packets it points to are valid only for the duration of the receive
+/// call — processes must copy whatever they keep.
+using InboxView = std::span<const PacketView>;
 
 }  // namespace hinet

@@ -5,6 +5,11 @@
 // the round are collected — receive() with every packet heard over the
 // round's communication graph.  This is exactly the send/receive round
 // structure of the paper's lifetime Γ.
+//
+// The inbox is an InboxView: pointers into the engine's round packet
+// buffer, sorted by sender id, valid only for the duration of the call.
+// A process that wants to keep a payload must copy it (all the built-in
+// algorithms just unite the TokenSet into their own state).
 #pragma once
 
 #include <memory>
@@ -41,11 +46,17 @@ class Process {
   virtual std::optional<Packet> transmit(const RoundContext& ctx) = 0;
 
   /// Delivery of every packet heard this round (senders are graph
-  /// neighbours of this node in ctx.graph).
-  virtual void receive(const RoundContext& ctx,
-                       std::span<const Packet> inbox) = 0;
+  /// neighbours of this node in ctx.graph), as non-owning views ordered by
+  /// sender id.  Called every round, even with an empty inbox, so
+  /// processes can keep per-round state (phase boundaries) consistent.
+  virtual void receive(const RoundContext& ctx, InboxView inbox) = 0;
 
   /// The node's collected token set TA (the algorithm's output).
+  ///
+  /// Contract: knowledge is monotone — it may only grow, and only during
+  /// receive().  The engine relies on this for incremental completion
+  /// tracking: a node is checked for completeness right after its
+  /// receive() call and never re-scanned once complete.
   virtual const TokenSet& knowledge() const = 0;
 
   /// True once the node's own schedule is exhausted (e.g. M phases done).

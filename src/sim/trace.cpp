@@ -5,11 +5,11 @@
 namespace hinet {
 
 RoundObserver TraceRecorder::observer() {
-  return [this](Round r, const std::vector<Packet>& packets, const Graph&,
+  return [this](Round r, std::span<const Packet> packets, const Graph&,
                 const HierarchyView&) {
     RecordedRound rec;
     rec.round = r;
-    rec.packets = packets;
+    rec.packets.assign(packets.begin(), packets.end());
     rounds_.push_back(std::move(rec));
   };
 }

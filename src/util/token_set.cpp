@@ -18,12 +18,6 @@ void TokenSet::check_token(TokenId t) const {
   HINET_REQUIRE(t < universe_, "token id outside universe");
 }
 
-std::size_t TokenSet::count() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
-}
-
 bool TokenSet::contains(TokenId t) const {
   check_token(t);
   return (words_[t / kBits] >> (t % kBits)) & 1ULL;
@@ -35,6 +29,7 @@ bool TokenSet::insert(TokenId t) {
   const std::uint64_t mask = 1ULL << (t % kBits);
   const bool added = (w & mask) == 0;
   w |= mask;
+  count_ += added ? 1 : 0;
   return added;
 }
 
@@ -44,11 +39,13 @@ bool TokenSet::erase(TokenId t) {
   const std::uint64_t mask = 1ULL << (t % kBits);
   const bool present = (w & mask) != 0;
   w &= ~mask;
+  count_ -= present ? 1 : 0;
   return present;
 }
 
 void TokenSet::clear() {
   for (std::uint64_t& w : words_) w = 0;
+  count_ = 0;
 }
 
 std::size_t TokenSet::unite(const TokenSet& other) {
@@ -59,18 +56,29 @@ std::size_t TokenSet::unite(const TokenSet& other) {
     added += static_cast<std::size_t>(std::popcount(fresh));
     words_[i] |= other.words_[i];
   }
+  count_ += added;
   return added;
 }
 
 void TokenSet::subtract(const TokenSet& other) {
   HINET_REQUIRE(universe_ == other.universe_, "universe mismatch in subtract");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+    n += static_cast<std::size_t>(std::popcount(words_[i]));
+  }
+  count_ = n;
 }
 
 void TokenSet::intersect(const TokenSet& other) {
   HINET_REQUIRE(universe_ == other.universe_,
                 "universe mismatch in intersect");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+    n += static_cast<std::size_t>(std::popcount(words_[i]));
+  }
+  count_ = n;
 }
 
 bool TokenSet::subset_of(const TokenSet& other) const {
@@ -191,6 +199,11 @@ TokenSet TokenSet::from_words(std::size_t universe,
   if (tail != 0 && !out.words_.empty()) {
     out.words_.back() &= (1ULL << tail) - 1;
   }
+  std::size_t n = 0;
+  for (std::uint64_t w : out.words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  out.count_ = n;
   return out;
 }
 

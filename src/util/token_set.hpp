@@ -4,7 +4,10 @@
 // The paper's algorithms manipulate three per-node sets (TA, TS, TR) over a
 // universe of k comparable token ids.  All hot-path operations the
 // pseudocode needs — membership, union, set difference, and min/max of a
-// difference — are O(k/64) word operations here.
+// difference — are O(k/64) word operations here.  The cardinality is
+// cached and maintained by every mutator, so count()/empty()/full() are
+// O(1) — the engine's incremental completion tracking polls full() once
+// per node per round.
 #pragma once
 
 #include <cstdint>
@@ -31,13 +34,14 @@ class TokenSet {
   /// The universe size k this set was created with.
   std::size_t universe() const { return universe_; }
 
-  /// Number of tokens currently in the set.
-  std::size_t count() const;
+  /// Number of tokens currently in the set.  O(1): the cardinality is
+  /// cached and kept in sync by every mutating operation.
+  std::size_t count() const { return count_; }
 
-  bool empty() const { return count() == 0; }
+  bool empty() const { return count_ == 0; }
 
   /// True when the set contains every token of the universe.
-  bool full() const { return count() == universe_; }
+  bool full() const { return count_ == universe_; }
 
   bool contains(TokenId t) const;
 
@@ -112,6 +116,7 @@ class TokenSet {
   void check_token(TokenId t) const;
 
   std::size_t universe_ = 0;
+  std::size_t count_ = 0;  ///< cached popcount of words_
   std::vector<std::uint64_t> words_;
 };
 

@@ -153,7 +153,7 @@ TEST(EngineInvariants, KnowledgeOnlyGrowsAndStaysWithinInitialUnion) {
   for (const auto& pr : procs) views.push_back(pr.get());
   Engine engine(net, nullptr, std::move(procs));
   std::vector<std::size_t> prev_counts(15, 0);
-  engine.set_observer([&](Round, const std::vector<Packet>&, const Graph&,
+  engine.set_observer([&](Round, std::span<const Packet>, const Graph&,
                           const HierarchyView&) {
     for (std::size_t v = 0; v < views.size(); ++v) {
       const TokenSet& ta = views[v]->knowledge();

@@ -84,7 +84,7 @@ TEST_P(Lemma2Sweep, EveryKnownTokenReachesAlphaNewHeadsPerPhase) {
   std::size_t violations = 0;
   const std::size_t alpha_floor = (t - c.k) / static_cast<std::size_t>(c.l);
 
-  engine.set_observer([&](Round r, const std::vector<Packet>&, const Graph&,
+  engine.set_observer([&](Round r, std::span<const Packet>, const Graph&,
                           const HierarchyView& h) {
     const bool phase_end = (r + 1) % t == 0;
     if (!initialised) {

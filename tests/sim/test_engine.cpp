@@ -24,11 +24,11 @@ class EchoProcess final : public Process {
     return pkt;
   }
 
-  void receive(const RoundContext&, std::span<const Packet> inbox) override {
+  void receive(const RoundContext&, InboxView inbox) override {
     last_inbox_senders_.clear();
-    for (const Packet& pkt : inbox) {
-      last_inbox_senders_.push_back(pkt.src);
-      ta_.unite(pkt.tokens);
+    for (PacketView pkt : inbox) {
+      last_inbox_senders_.push_back(pkt->src);
+      ta_.unite(pkt->tokens);
     }
   }
 
@@ -242,7 +242,7 @@ TEST(Engine, HierarchyIsVisibleToProcesses) {
       EXPECT_EQ(ctx.role(), expected_) << "node " << self_;
       return std::nullopt;
     }
-    void receive(const RoundContext&, std::span<const Packet>) override {}
+    void receive(const RoundContext&, InboxView) override {}
     const TokenSet& knowledge() const override { return ta_; }
 
    private:
@@ -275,7 +275,7 @@ TEST(Engine, FlatViewWhenNoHierarchy) {
       EXPECT_EQ(ctx.cluster(), kNoCluster);
       return std::nullopt;
     }
-    void receive(const RoundContext&, std::span<const Packet>) override {}
+    void receive(const RoundContext&, InboxView) override {}
     const TokenSet& knowledge() const override { return ta_; }
 
    private:

@@ -1,0 +1,176 @@
+// Golden-metrics regression test for the delivery path.
+//
+// Pins the full SimMetrics of every scenario family under every channel
+// model on fixed seeds to values recorded from the pre-refactor
+// (receiver-centric) engine.  The per-round series and per-node tx/rx
+// vectors are folded into one FNV-1a hash, so ANY metric drift — a
+// reordered inbox, a perturbed LossyChannel RNG stream, a missed or
+// double-counted token — fails loudly here.
+//
+// Regenerate the table with tools/golden_capture.cpp ONLY for an
+// intentional semantics change, and say so in the commit message.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "analysis/scenarios.hpp"
+#include "sim/engine.hpp"
+
+namespace hinet {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Hash of everything SimMetrics records per node and per round, each
+/// vector preceded by its length (mirrors tools/golden_capture.cpp).
+std::uint64_t hash_series(const SimMetrics& m) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(h, m.tokens_sent_per_round.size());
+  for (std::size_t x : m.tokens_sent_per_round) h = fnv1a(h, x);
+  h = fnv1a(h, m.complete_nodes_per_round.size());
+  for (std::size_t x : m.complete_nodes_per_round) h = fnv1a(h, x);
+  h = fnv1a(h, m.per_node_tx_tokens.size());
+  for (std::size_t x : m.per_node_tx_tokens) h = fnv1a(h, x);
+  h = fnv1a(h, m.per_node_rx_tokens.size());
+  for (std::size_t x : m.per_node_rx_tokens) h = fnv1a(h, x);
+  return h;
+}
+
+ScenarioConfig golden_config() {
+  ScenarioConfig cfg;
+  cfg.nodes = 60;
+  cfg.heads = 12;
+  cfg.k = 8;
+  cfg.alpha = 2;
+  cfg.hop_l = 2;
+  return cfg;
+}
+
+struct GoldenCase {
+  Scenario scenario;
+  int channel;  ///< 0 = perfect, 1 = lossy(0.2), 2 = collision(3)
+  std::uint64_t seed;
+  std::size_t rounds_executed;
+  std::size_t packets_sent;
+  std::size_t tokens_sent;
+  std::size_t rounds_to_completion;  ///< kNever when incomplete
+  bool all_delivered;
+  std::uint64_t series_hash;
+};
+
+// Captured by tools/golden_capture.cpp from the receiver-centric engine
+// (commit d5daf3d), config nodes=60 heads=12 k=8 alpha=2 l=2, seeds {1,7}.
+const GoldenCase kGolden[] = {
+    {Scenario::kKloInterval, 0, 1ull, 180u, 7054u, 7054u, 24u, true,
+     0x4b1097afb52143f2ull},
+    {Scenario::kKloInterval, 0, 7ull, 180u, 7117u, 7117u, 22u, true,
+     0xc38e79dd385362b1ull},
+    {Scenario::kKloInterval, 1, 1ull, 180u, 6750u, 6750u, 51u, true,
+     0xe408c0c9fb725a1dull},
+    {Scenario::kKloInterval, 1, 7ull, 180u, 6879u, 6879u, 44u, true,
+     0x195bacb70fc96f3cull},
+    {Scenario::kKloInterval, 2, 1ull, 180u, 6058u, 6058u, kNever, false,
+     0xc0fc1930ec5d45b4ull},
+    {Scenario::kKloInterval, 2, 7ull, 180u, 6690u, 6690u, kNever, false,
+     0x39b53bb74ecb1389ull},
+    {Scenario::kHiNetInterval, 0, 1ull, 84u, 1244u, 1244u, 32u, true,
+     0x4e81b9816beb548aull},
+    {Scenario::kHiNetInterval, 0, 7ull, 84u, 1283u, 1283u, 22u, true,
+     0xb7ddb130b6c689ddull},
+    {Scenario::kHiNetInterval, 1, 1ull, 84u, 1062u, 1062u, 80u, true,
+     0xdc6776f2f6ea07d1ull},
+    {Scenario::kHiNetInterval, 1, 7ull, 84u, 1153u, 1153u, 56u, true,
+     0xa89aab88f9aeeeeaull},
+    {Scenario::kHiNetInterval, 2, 1ull, 84u, 1244u, 1244u, 33u, true,
+     0x690a0322feac8b5eull},
+    {Scenario::kHiNetInterval, 2, 7ull, 84u, 1283u, 1283u, 22u, true,
+     0x4fdc42cc714b9b94ull},
+    {Scenario::kHiNetIntervalStable, 0, 1ull, 84u, 1207u, 1207u, 33u, true,
+     0x84d766309867dceaull},
+    {Scenario::kHiNetIntervalStable, 0, 7ull, 84u, 1238u, 1238u, 22u, true,
+     0xb8916fc5335552a2ull},
+    {Scenario::kHiNetIntervalStable, 1, 1ull, 84u, 1024u, 1024u, 80u, true,
+     0x46344b432b02b115ull},
+    {Scenario::kHiNetIntervalStable, 1, 7ull, 84u, 1091u, 1091u, 65u, true,
+     0xb133a9bfbc6310f2ull},
+    {Scenario::kHiNetIntervalStable, 2, 1ull, 84u, 1207u, 1207u, 33u, true,
+     0x84d766309867dceaull},
+    {Scenario::kHiNetIntervalStable, 2, 7ull, 84u, 1238u, 1238u, 22u, true,
+     0xb8916fc5335552a2ull},
+    {Scenario::kKloOne, 0, 1ull, 59u, 3419u, 25900u, 9u, true,
+     0x7851440eb478c7fcull},
+    {Scenario::kKloOne, 0, 7ull, 59u, 3434u, 25911u, 10u, true,
+     0x488047d220152a09ull},
+    {Scenario::kKloOne, 1, 1ull, 59u, 3382u, 25308u, 13u, true,
+     0x12dbef55836c2277ull},
+    {Scenario::kKloOne, 1, 7ull, 59u, 3417u, 25524u, 12u, true,
+     0xe9b73d246270aeeeull},
+    {Scenario::kKloOne, 2, 1ull, 59u, 3419u, 22025u, kNever, false,
+     0x2a1d41053deb0294ull},
+    {Scenario::kKloOne, 2, 7ull, 59u, 3434u, 21650u, kNever, false,
+     0x16c7fdb6e5ed00deull},
+    {Scenario::kHiNetOne, 0, 1ull, 59u, 1435u, 10765u, 12u, true,
+     0xd97d53be10edbbffull},
+    {Scenario::kHiNetOne, 0, 7ull, 59u, 1443u, 10774u, 11u, true,
+     0x933c24a556f1fa48ull},
+    {Scenario::kHiNetOne, 1, 1ull, 59u, 1418u, 10054u, 31u, true,
+     0x4f569cf2bc422d6full},
+    {Scenario::kHiNetOne, 1, 7ull, 59u, 1441u, 10585u, 14u, true,
+     0x040c7a91bf119a88ull},
+    {Scenario::kHiNetOne, 2, 1ull, 59u, 1435u, 10765u, 12u, true,
+     0x647535964d2dec28ull},
+    {Scenario::kHiNetOne, 2, 7ull, 59u, 1443u, 10774u, 11u, true,
+     0x2133e5cca4f45310ull},
+};
+
+class EngineGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(EngineGolden, MetricsMatchRecordedBaseline) {
+  const GoldenCase& gc = GetParam();
+  ScenarioRun run = make_scenario(gc.scenario, golden_config(), gc.seed);
+  switch (gc.channel) {
+    case 0:
+      break;  // perfect (null channel)
+    case 1:
+      run.spec.channel =
+          std::make_unique<LossyChannel>(0.2, gc.seed ^ 0x5eedULL);
+      break;
+    case 2:
+      run.spec.channel = std::make_unique<CollisionChannel>(3);
+      break;
+  }
+  const SimMetrics m = run_simulation(std::move(run.spec));
+  EXPECT_EQ(m.rounds_executed, gc.rounds_executed);
+  EXPECT_EQ(m.packets_sent, gc.packets_sent);
+  EXPECT_EQ(m.tokens_sent, gc.tokens_sent);
+  EXPECT_EQ(m.rounds_to_completion, gc.rounds_to_completion);
+  EXPECT_EQ(m.all_delivered, gc.all_delivered);
+  EXPECT_EQ(hash_series(m), gc.series_hash);
+}
+
+std::string golden_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  const GoldenCase& gc = info.param;
+  std::string name;
+  switch (gc.scenario) {
+    case Scenario::kKloInterval: name = "KloInterval"; break;
+    case Scenario::kHiNetInterval: name = "HiNetInterval"; break;
+    case Scenario::kHiNetIntervalStable: name = "HiNetIntervalStable"; break;
+    case Scenario::kKloOne: name = "KloOne"; break;
+    case Scenario::kHiNetOne: name = "HiNetOne"; break;
+  }
+  name += gc.channel == 0 ? "Perfect" : gc.channel == 1 ? "Lossy" : "Collision";
+  name += "Seed" + std::to_string(gc.seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenariosAllChannels, EngineGolden,
+                         ::testing::ValuesIn(kGolden), golden_name);
+
+}  // namespace
+}  // namespace hinet

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "util/rng.hpp"
 
 namespace hinet {
@@ -218,6 +220,69 @@ TEST_P(TokenSetProperty, AlgebraIdentities) {
   EXPECT_TRUE(inter.subset_of(a));
   EXPECT_TRUE(inter.subset_of(b));
   EXPECT_TRUE(a.subset_of(u));
+}
+
+TEST_P(TokenSetProperty, CachedCountMatchesRecomputedPopcount) {
+  // count()/full()/empty() are served from a cached cardinality; this
+  // drives arbitrary interleavings of every mutator and checks the cache
+  // against a popcount recomputed from the raw words after each step.
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 3);
+  const std::size_t universe = 1 + rng.below(130);
+
+  const auto recount = [](const TokenSet& s) {
+    std::size_t n = 0;
+    for (std::uint64_t w : s.words()) {
+      n += static_cast<std::size_t>(std::popcount(w));
+    }
+    return n;
+  };
+  const auto check = [&](const TokenSet& s) {
+    const std::size_t truth = recount(s);
+    ASSERT_EQ(s.count(), truth);
+    ASSERT_EQ(s.empty(), truth == 0);
+    ASSERT_EQ(s.full(), truth == s.universe());
+  };
+
+  const auto random_set = [&] {
+    TokenSet s(universe);
+    const std::size_t fill = rng.below(universe + 1);
+    for (std::size_t i = 0; i < fill; ++i) {
+      s.insert(static_cast<TokenId>(rng.below(universe)));
+    }
+    return s;
+  };
+
+  TokenSet s = random_set();
+  check(s);
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.below(7)) {
+      case 0:
+        s.insert(static_cast<TokenId>(rng.below(universe)));
+        break;
+      case 1:
+        s.erase(static_cast<TokenId>(rng.below(universe)));
+        break;
+      case 2:
+        s.clear();
+        break;
+      case 3:
+        s.unite(random_set());
+        break;
+      case 4:
+        s.subtract(random_set());
+        break;
+      case 5:
+        s.intersect(random_set());
+        break;
+      case 6: {
+        std::vector<std::uint64_t> words((universe + 63) / 64);
+        for (auto& w : words) w = rng();
+        s = TokenSet::from_words(universe, std::move(words));
+        break;
+      }
+    }
+    check(s);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TokenSetProperty,

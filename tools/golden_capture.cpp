@@ -1,0 +1,88 @@
+// One-shot capture of golden SimMetrics from the engine, printed as the
+// C++ table used by tests/sim/test_engine_golden.cpp.  Run whenever the
+// golden scenarios change; the recorded values pin the delivery semantics.
+#include <cstdint>
+#include <cstdio>
+
+#include "analysis/scenarios.hpp"
+#include "sim/engine.hpp"
+
+namespace hinet {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_series(const SimMetrics& m) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(h, m.tokens_sent_per_round.size());
+  for (std::size_t x : m.tokens_sent_per_round) h = fnv1a(h, x);
+  h = fnv1a(h, m.complete_nodes_per_round.size());
+  for (std::size_t x : m.complete_nodes_per_round) h = fnv1a(h, x);
+  h = fnv1a(h, m.per_node_tx_tokens.size());
+  for (std::size_t x : m.per_node_tx_tokens) h = fnv1a(h, x);
+  h = fnv1a(h, m.per_node_rx_tokens.size());
+  for (std::size_t x : m.per_node_rx_tokens) h = fnv1a(h, x);
+  return h;
+}
+
+ScenarioConfig golden_config() {
+  ScenarioConfig cfg;
+  cfg.nodes = 60;
+  cfg.heads = 12;
+  cfg.k = 8;
+  cfg.alpha = 2;
+  cfg.hop_l = 2;
+  return cfg;
+}
+
+void run_one(Scenario s, int channel_kind, std::uint64_t seed) {
+  ScenarioRun run = make_scenario(s, golden_config(), seed);
+  switch (channel_kind) {
+    case 0:
+      break;  // perfect (null channel)
+    case 1:
+      run.spec.channel =
+          std::make_unique<LossyChannel>(0.2, seed ^ 0x5eedULL);
+      break;
+    case 2:
+      run.spec.channel = std::make_unique<CollisionChannel>(3);
+      break;
+  }
+  const SimMetrics m = run_simulation(std::move(run.spec));
+  std::printf(
+      "    {Scenario::%s, %d, %lluull, %zuu, %zuu, %zuu, %zuu, %s,\n"
+      "     0x%016llxull},\n",
+      s == Scenario::kKloInterval          ? "kKloInterval"
+      : s == Scenario::kHiNetInterval      ? "kHiNetInterval"
+      : s == Scenario::kHiNetIntervalStable? "kHiNetIntervalStable"
+      : s == Scenario::kKloOne             ? "kKloOne"
+                                           : "kHiNetOne",
+      channel_kind, static_cast<unsigned long long>(seed), m.rounds_executed,
+      m.packets_sent, m.tokens_sent,
+      m.rounds_to_completion == kNever ? static_cast<std::size_t>(0) - 1
+                                       : m.rounds_to_completion,
+      m.all_delivered ? "true" : "false",
+      static_cast<unsigned long long>(hash_series(m)));
+}
+
+}  // namespace
+}  // namespace hinet
+
+int main() {
+  using hinet::Scenario;
+  const Scenario all[] = {Scenario::kKloInterval, Scenario::kHiNetInterval,
+                          Scenario::kHiNetIntervalStable, Scenario::kKloOne,
+                          Scenario::kHiNetOne};
+  for (Scenario s : all) {
+    for (int ch = 0; ch < 3; ++ch) {
+      for (std::uint64_t seed : {1ULL, 7ULL}) hinet::run_one(s, ch, seed);
+    }
+  }
+  return 0;
+}
