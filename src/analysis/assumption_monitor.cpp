@@ -1,0 +1,123 @@
+#include "analysis/assumption_monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/algorithms.hpp"
+#include "core/hinet_properties.hpp"
+
+namespace hinet {
+
+namespace {
+
+WindowReport judge_window(Ctvg& g, Round start, std::size_t t, int l) {
+  WindowReport w;
+  w.start = start;
+  w.length = t;
+  std::ostringstream os;
+
+  // Definition 2: the head set is constant across the window.
+  const auto head_reference = g.hierarchy_at(start).heads();
+  for (std::size_t i = 1; i < t && w.head_set_stable; ++i) {
+    if (g.hierarchy_at(start + i).heads() != head_reference) {
+      w.head_set_stable = false;
+      os << "head set changed at round " << start + i;
+    }
+  }
+
+  // Definition 4: the entire hierarchy (roles + affiliations) is constant.
+  const HierarchyView& hier_reference = g.hierarchy_at(start);
+  for (std::size_t i = 1; i < t && w.hierarchy_stable; ++i) {
+    if (!(g.hierarchy_at(start + i) == hier_reference)) {
+      w.hierarchy_stable = false;
+      if (os.tellp() == 0) os << "hierarchy changed at round " << start + i;
+    }
+  }
+
+  // Definition 5: a stable connected subgraph Υ spans the window's heads.
+  const auto upsilon = stable_head_subgraph(g, start, t);
+  if (!upsilon) {
+    w.head_connectivity = false;
+    w.l_hop_ok = false;
+    if (os.tellp() == 0) os << "no stable subgraph spans the heads";
+  } else {
+    // Definitions 6/7: bottleneck backbone distance between heads inside
+    // Υ must be within l (judged against the window-start hierarchy, the
+    // reference the stable subgraph was built for).
+    const int measured = measure_l_hop_connectivity(hier_reference, *upsilon);
+    if (measured < 0 || measured > l) {
+      w.l_hop_ok = false;
+      if (os.tellp() == 0) {
+        os << "L-hop head connectivity is " << measured << " > " << l;
+      }
+    }
+  }
+
+  w.violation = os.str();
+  return w;
+}
+
+}  // namespace
+
+std::size_t AssumptionReport::violated_windows() const {
+  std::size_t v = 0;
+  for (const WindowReport& w : windows) {
+    if (!w.ok()) ++v;
+  }
+  return v;
+}
+
+std::optional<Round> AssumptionReport::first_violation_round() const {
+  for (const WindowReport& w : windows) {
+    if (!w.ok()) return w.start;
+  }
+  return std::nullopt;
+}
+
+std::string AssumptionReport::to_string() const {
+  std::ostringstream os;
+  os << "(T=" << t << ", L=" << l << ") " << windows.size() << " windows, "
+     << violated_windows() << " violated\n";
+  for (const WindowReport& w : windows) {
+    os << "  [" << w.start << ", " << w.start + w.length << ") ";
+    if (w.ok()) {
+      os << "ok";
+    } else {
+      os << "VIOLATED: " << w.violation;
+    }
+    if (w.completion_fraction_end >= 0.0) {
+      os << " (completion " << w.completion_fraction_end << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+AssumptionReport monitor_assumptions(Ctvg& trace, std::size_t rounds,
+                                     std::size_t t, int l) {
+  HINET_REQUIRE(t >= 1, "T must be >= 1");
+  HINET_REQUIRE(l >= 1, "L must be >= 1");
+  AssumptionReport report;
+  report.t = t;
+  report.l = l;
+  for (Round start = 0; start + t <= rounds; start += t) {
+    report.windows.push_back(judge_window(trace, start, t, l));
+  }
+  return report;
+}
+
+void join_completion(AssumptionReport& report, const SimMetrics& metrics) {
+  const auto& series = metrics.complete_nodes_per_round;
+  const std::size_t n = metrics.per_node_tx_tokens.size();
+  if (series.empty() || n == 0) return;
+  for (WindowReport& w : report.windows) {
+    // The run may have stopped early (stop_when_complete) or short of the
+    // trace horizon; clamp to the last executed round.
+    const std::size_t idx =
+        std::min(w.start + w.length - 1, series.size() - 1);
+    w.completion_fraction_end =
+        static_cast<double>(series[idx]) / static_cast<double>(n);
+  }
+}
+
+}  // namespace hinet

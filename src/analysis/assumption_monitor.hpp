@@ -1,0 +1,84 @@
+// Online (T, L)-HiNet assumption monitoring.
+//
+// The checkers in core/hinet_properties.hpp answer "does the whole trace
+// satisfy Definition d?" with the first violation only — the right shape
+// for unit tests and bounds audits.  Under fault injection the interesting
+// question is different: *which* windows of the realized trace broke
+// *which* assumption, and how did dissemination fare around them.  The
+// monitor replays a realized trace (typically: materialize() the
+// FaultyNetwork the run actually saw, re-cluster it, wrap as a Ctvg) and
+// produces one report per aligned T-window covering
+//   - Definition 2  (T-interval stable cluster head set),
+//   - Definition 4  (T-interval stable hierarchy),
+//   - Definition 5  (head connectivity via a stable subgraph Υ),
+//   - Definitions 6/7 (L-hop head connectivity inside Υ).
+// The per-window log joins against SimMetrics so violations line up with
+// completion over time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ctvg.hpp"
+#include "sim/metrics.hpp"
+
+namespace hinet {
+
+/// Verdict for one aligned window [start, start + length).
+struct WindowReport {
+  Round start = 0;
+  std::size_t length = 0;
+
+  bool head_set_stable = true;   ///< Definition 2 over this window
+  bool hierarchy_stable = true;  ///< Definition 4 over this window
+  bool head_connectivity = true; ///< Definition 5: Υ exists and spans heads
+  bool l_hop_ok = true;          ///< Definitions 6/7: L-hop bound inside Υ
+
+  /// Human-readable description of the first violated property (empty when
+  /// the window is clean).
+  std::string violation;
+
+  /// Fraction of nodes complete at the window's last executed round;
+  /// -1 until join_completion() fills it in.
+  double completion_fraction_end = -1.0;
+
+  bool ok() const {
+    return head_set_stable && hierarchy_stable && head_connectivity &&
+           l_hop_ok;
+  }
+};
+
+/// Whole-trace monitoring result: one WindowReport per complete aligned
+/// window, plus the (t, l) the trace was judged against.
+struct AssumptionReport {
+  std::size_t t = 0;
+  int l = 0;
+  std::vector<WindowReport> windows;
+
+  std::size_t violated_windows() const;
+  bool clean() const { return violated_windows() == 0; }
+
+  /// Start round of the earliest violated window, or nullopt when clean.
+  std::optional<Round> first_violation_round() const;
+
+  /// Multi-line log, one window per line (for EXPERIMENTS.md-style docs
+  /// and test failure output).
+  std::string to_string() const;
+};
+
+/// Replays `trace` and judges every complete aligned window of length `t`
+/// inside [0, rounds) against Definitions 2, 4, 5 and 6/7 with bound `l`.
+/// A trace built from a clean make_hinet generator with matching (T, L)
+/// yields a clean report; crash/partition/burst faults show up as violated
+/// windows.
+AssumptionReport monitor_assumptions(Ctvg& trace, std::size_t rounds,
+                                     std::size_t t, int l);
+
+/// Fills each window's completion_fraction_end from the run's per-round
+/// completion series, making the violation log joinable against the
+/// degradation metrics ("the window that lost head connectivity is where
+/// completion stalled").
+void join_completion(AssumptionReport& report, const SimMetrics& metrics);
+
+}  // namespace hinet

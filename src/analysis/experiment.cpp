@@ -75,11 +75,13 @@ std::vector<ReplicateResult> run_replicates(const SpecFactory& factory,
 
 AggregateResult aggregate_replicates(const std::vector<ReplicateResult>& reps,
                                      double batch_seconds, std::size_t jobs) {
-  std::vector<double> rounds, tokens, packets, wall;
+  std::vector<double> rounds, tokens, packets, completion, coverage, wall;
   std::size_t delivered = 0;
   for (const ReplicateResult& r : reps) {
     tokens.push_back(static_cast<double>(r.metrics.tokens_sent));
     packets.push_back(static_cast<double>(r.metrics.packets_sent));
+    completion.push_back(r.metrics.completion_fraction());
+    coverage.push_back(r.metrics.token_coverage());
     wall.push_back(r.wall_ms);
     if (r.metrics.all_delivered) {
       ++delivered;
@@ -93,6 +95,8 @@ AggregateResult aggregate_replicates(const std::vector<ReplicateResult>& reps,
   out.rounds_to_completion = summarize(std::move(rounds));
   out.tokens_sent = summarize(std::move(tokens));
   out.packets_sent = summarize(std::move(packets));
+  out.completion_fraction = summarize(std::move(completion));
+  out.token_coverage = summarize(std::move(coverage));
   out.timing.replicate_wall_ms = summarize(std::move(wall));
   out.timing.wall_seconds = batch_seconds;
   out.timing.runs_per_second =
@@ -107,6 +111,8 @@ bool AggregateResult::same_statistics(const AggregateResult& other) const {
   return rounds_to_completion == other.rounds_to_completion &&
          tokens_sent == other.tokens_sent &&
          packets_sent == other.packets_sent &&
+         completion_fraction == other.completion_fraction &&
+         token_coverage == other.token_coverage &&
          delivery_rate == other.delivery_rate &&
          repetitions == other.repetitions;
 }
@@ -115,8 +121,13 @@ std::string AggregateResult::to_string() const {
   std::ostringstream os;
   os << "reps=" << repetitions << " delivery=" << delivery_rate * 100.0
      << "% rounds{mean=" << rounds_to_completion.mean
-     << "} tokens{mean=" << tokens_sent.mean << "} jobs=" << timing.jobs
-     << " throughput=" << timing.runs_per_second << " runs/s";
+     << "} tokens{mean=" << tokens_sent.mean << "}";
+  if (delivery_rate < 1.0) {
+    os << " completion{mean=" << completion_fraction.mean
+       << "} coverage{mean=" << token_coverage.mean << "}";
+  }
+  os << " jobs=" << timing.jobs << " throughput=" << timing.runs_per_second
+     << " runs/s";
   return os.str();
 }
 

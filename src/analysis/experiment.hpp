@@ -71,6 +71,11 @@ struct AggregateResult {
   Summary rounds_to_completion;  ///< over delivered runs only
   Summary tokens_sent;
   Summary packets_sent;
+  /// Degradation under faults, over all repetitions: fraction of nodes
+  /// complete at cutoff, and mean per-node token coverage.  Both are 1.0
+  /// on every delivered run, so fault-free sweeps see no difference.
+  Summary completion_fraction;
+  Summary token_coverage;
   double delivery_rate = 0.0;  ///< fraction of repetitions that delivered
   std::size_t repetitions = 0;
 

@@ -40,6 +40,8 @@ void Alg1Process::maybe_start_phase(const RoundContext& ctx) {
   }
   ta_at_phase_start_ = ta_.count();
 
+  resend_sweeps_ = 0;
+  reaffiliated_ = false;
   switch (ctx.role()) {
     case NodeRole::kHead:
     case NodeRole::kGateway:
@@ -50,6 +52,7 @@ void Alg1Process::maybe_start_phase(const RoundContext& ctx) {
       if (first_phase || now != head_in_prev_phase_) {
         ts_.clear();
         tr_.clear();
+        reaffiliated_ = !first_phase;
       }
       break;
     }
@@ -63,8 +66,18 @@ std::optional<Packet> Alg1Process::transmit(const RoundContext& ctx) {
   switch (ctx.role()) {
     case NodeRole::kHead:
     case NodeRole::kGateway: {
-      const auto t = ta_.min_diff(ts_);
-      if (!t) return std::nullopt;  // TS == TA: nothing left this phase
+      auto t = ta_.min_diff(ts_);
+      if (!t) {
+        // TS == TA: the single sweep of Fig. 4 is done.  With a
+        // retransmit budget left, restart the sweep — under loss a
+        // broadcast token may never have been heard.
+        if (resend_sweeps_ >= params_.retransmit_budget || ta_.empty()) {
+          return std::nullopt;
+        }
+        ++resend_sweeps_;
+        ts_.clear();
+        t = ta_.min_diff(ts_);
+      }
       ts_.insert(*t);
       Packet pkt;
       pkt.src = self_;
@@ -74,13 +87,27 @@ std::optional<Packet> Alg1Process::transmit(const RoundContext& ctx) {
     }
     case NodeRole::kMember: {
       if (params_.stable_head_optimisation &&
-          ctx.round >= params_.phase_length) {
+          ctx.round >= params_.phase_length &&
+          !(params_.reupload_on_reaffiliation && reaffiliated_)) {
         return std::nullopt;  // Remark 1: upload only in the first phase
       }
       const ClusterId head = ctx.cluster();
       if (head == kNoCluster) return std::nullopt;
-      const auto t = ta_.max_diff(ts_, tr_);
-      if (!t) return std::nullopt;  // TA == TS ∪ TR
+      auto t = ta_.max_diff(ts_, tr_);
+      if (!t) {
+        // TA == TS ∪ TR: upload sweep done.  A resend sweep forgets TS —
+        // sends may have been lost.  With ACK piggybacking the head's own
+        // broadcasts double as acknowledgements (TR holds exactly the
+        // tokens the head provably has), so the sweep re-uploads only
+        // TA \ TR; the blind variant forgets TR too and re-uploads all
+        // of TA.
+        if (resend_sweeps_ >= params_.retransmit_budget) return std::nullopt;
+        ++resend_sweeps_;
+        ts_.clear();
+        if (!params_.ack_piggyback) tr_.clear();
+        t = ta_.max_diff(ts_, tr_);
+        if (!t) return std::nullopt;  // everything acknowledged already
+      }
       ts_.insert(*t);
       Packet pkt;
       pkt.src = self_;

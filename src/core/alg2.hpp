@@ -25,6 +25,15 @@ struct Alg2Params {
   /// consecutive rounds without learning a new token (and wakes up if
   /// something new arrives).  0 = run the full M-round schedule.
   std::size_t quiescence_rounds = 0;
+
+  /// Loss tolerance: Fig. 5 has a member upload its TA exactly once per
+  /// affiliation, so one lost upload orphans that member's tokens for as
+  /// long as the head stays the same.  When > 0, a member whose TA is not
+  /// yet covered by what it has heard from the backbone (heads/gateways
+  /// double as acknowledgers — anything they broadcast they provably
+  /// hold) re-uploads every this-many rounds.  0 = the paper's schedule
+  /// (bit-identical default).
+  std::size_t member_reupload_interval = 0;
 };
 
 class Alg2Process final : public Process {
@@ -44,6 +53,7 @@ class Alg2Process final : public Process {
   NodeId self_;
   Alg2Params params_;
   TokenSet ta_;
+  TokenSet echoed_;  ///< tokens heard from heads/gateways (implicit ACKs)
   ClusterId last_seen_head_ = kNoCluster;
   bool sent_initial_ = false;
   std::size_t member_uploads_ = 0;

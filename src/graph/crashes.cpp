@@ -10,13 +10,14 @@ GraphSequence apply_crashes(DynamicNetwork& base, std::size_t rounds,
   const std::size_t n = base.node_count();
   for (const CrashEvent& c : crashes) {
     HINET_REQUIRE(c.node < n, "crash node out of range");
+    HINET_REQUIRE(c.recovery > c.round, "recovery must be after the crash");
   }
   std::vector<Graph> out;
   out.reserve(rounds);
   for (Round r = 0; r < rounds; ++r) {
     Graph g = base.graph_at(r);
     for (const CrashEvent& c : crashes) {
-      if (r < c.round) continue;
+      if (!c.down_at(r)) continue;
       // Copy the neighbour list: remove_edge mutates it during iteration.
       const auto neigh = g.neighbors(c.node);
       const std::vector<NodeId> copy(neigh.begin(), neigh.end());
@@ -31,7 +32,7 @@ std::vector<NodeId> alive_nodes(std::size_t node_count, Round r,
                                 std::span<const CrashEvent> crashes) {
   std::vector<char> dead(node_count, 0);
   for (const CrashEvent& c : crashes) {
-    if (c.node < node_count && r >= c.round) dead[c.node] = 1;
+    if (c.node < node_count && c.down_at(r)) dead[c.node] = 1;
   }
   std::vector<NodeId> out;
   for (NodeId v = 0; v < node_count; ++v) {

@@ -6,6 +6,11 @@
 // every layer above (clustering maintenance, dissemination) oblivious,
 // which is exactly how a real deployment experiences a died node: the
 // neighbours just stop hearing it, and the hierarchy must repair itself.
+//
+// A crash may carry a recovery round, modelling the rejoin churn of
+// Remark 1: the node is down for [round, recovery) and regains its links
+// afterwards (its process state is whatever it was — the node slept, it
+// was not reset).  The default is the historical permanent crash.
 #pragma once
 
 #include <span>
@@ -14,17 +19,25 @@
 
 namespace hinet {
 
+/// Sentinel recovery round meaning "never recovers" (permanent crash).
+inline constexpr Round kNoRecovery = static_cast<Round>(-1);
+
 struct CrashEvent {
   NodeId node = 0;
-  Round round = 0;  ///< first round in which the node is gone
+  Round round = 0;              ///< first round in which the node is gone
+  Round recovery = kNoRecovery; ///< first round back up (default: never)
+
+  /// True when the node is down in round r under this event.
+  bool down_at(Round r) const { return r >= round && r < recovery; }
 };
 
 /// Returns a copy of the first `rounds` rounds of `base` with every
-/// crashed node's edges removed from its crash round onward.
+/// crashed node's edges removed while the node is down.
 GraphSequence apply_crashes(DynamicNetwork& base, std::size_t rounds,
                             std::span<const CrashEvent> crashes);
 
-/// Nodes still alive at round r under the crash plan.
+/// Nodes up at round r under the crash plan (recovered nodes count as
+/// alive again).
 std::vector<NodeId> alive_nodes(std::size_t node_count, Round r,
                                 std::span<const CrashEvent> crashes);
 

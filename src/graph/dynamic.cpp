@@ -17,6 +17,14 @@ const Graph& GraphSequence::graph_at(Round r) {
   return rounds_[r];
 }
 
+GraphSequence materialize(DynamicNetwork& net, std::size_t rounds) {
+  HINET_REQUIRE(rounds >= 1, "need at least one round");
+  std::vector<Graph> out;
+  out.reserve(rounds);
+  for (Round r = 0; r < rounds; ++r) out.push_back(net.graph_at(r));
+  return GraphSequence(std::move(out));
+}
+
 void GraphSequence::push_back(Graph g) {
   HINET_REQUIRE(g.node_count() == n_,
                 "appended round must share the node set");

@@ -53,6 +53,12 @@ class GraphSequence final : public DynamicNetwork {
   std::size_t n_;
 };
 
+/// Copies the first `rounds` rounds of `net` into an explicit trace.  Used
+/// to freeze the *realized* topology of a lazy or decorated network (e.g. a
+/// FaultyNetwork) so it can be replayed — by the assumption monitor, by a
+/// hierarchy maintainer — without re-deriving it per query.
+GraphSequence materialize(DynamicNetwork& net, std::size_t rounds);
+
 /// A static network presented through the dynamic interface (every round
 /// is the same graph) — the degenerate case used by sanity tests.
 class StaticNetwork final : public DynamicNetwork {

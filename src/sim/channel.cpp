@@ -40,4 +40,46 @@ bool CollisionChannel::deliver(Round, const Packet&, NodeId receiver) {
   return transmitting_neighbors_[receiver] <= capture_;
 }
 
+namespace {
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
+}  // namespace
+
+GilbertElliottChannel::GilbertElliottChannel(
+    const GilbertElliottParams& params, std::uint64_t seed)
+    : params_(params),
+      state_rng_(seed),
+      loss_rng_(SplitMix64(seed ^ 0x9e3779b97f4a7c15ULL).next()) {
+  HINET_REQUIRE(is_probability(params.p_good_to_bad),
+                "p_good_to_bad outside [0,1]");
+  HINET_REQUIRE(is_probability(params.p_bad_to_good),
+                "p_bad_to_good outside [0,1]");
+  HINET_REQUIRE(is_probability(params.loss_good), "loss_good outside [0,1]");
+  HINET_REQUIRE(is_probability(params.loss_bad), "loss_bad outside [0,1]");
+}
+
+void GilbertElliottChannel::begin_round(Round, const Graph& g,
+                                        std::span<const Packet>) {
+  const std::size_t n = g.node_count();
+  if (bad_.size() != n) bad_.assign(n, 0);  // chains start Good
+  // Advance every chain exactly once, in node order: n draws per round, so
+  // the state sequence depends only on (seed, round), never on traffic.
+  for (NodeId v = 0; v < n; ++v) {
+    if (bad_[v]) {
+      if (state_rng_.bernoulli(params_.p_bad_to_good)) bad_[v] = 0;
+    } else {
+      if (state_rng_.bernoulli(params_.p_good_to_bad)) bad_[v] = 1;
+    }
+  }
+}
+
+bool GilbertElliottChannel::deliver(Round, const Packet&, NodeId receiver) {
+  const double loss =
+      bad_[receiver] != 0 ? params_.loss_bad : params_.loss_good;
+  return !loss_rng_.bernoulli(loss);
+}
+
+bool GilbertElliottChannel::in_bad_state(NodeId v) const {
+  return v < bad_.size() && bad_[v] != 0;
+}
+
 }  // namespace hinet

@@ -32,11 +32,29 @@ std::size_t total_wire_bytes(const SimMetrics& m, const WireModel& w) {
   return m.packets_sent * w.header_bytes + m.tokens_sent * w.token_bytes;
 }
 
+double SimMetrics::completion_fraction() const {
+  const std::size_t n = per_node_tx_tokens.size();
+  if (n == 0) return 0.0;
+  return static_cast<double>(complete_nodes_final) / static_cast<double>(n);
+}
+
+double SimMetrics::token_coverage() const {
+  if (per_node_tokens_known.empty() || token_universe == 0) return 0.0;
+  std::size_t known = 0;
+  for (std::size_t c : per_node_tokens_known) known += c;
+  return static_cast<double>(known) /
+         static_cast<double>(per_node_tokens_known.size() * token_universe);
+}
+
 std::string SimMetrics::to_string() const {
   std::ostringstream os;
   os << "rounds=" << rounds_executed << " packets=" << packets_sent
      << " tokens_sent=" << tokens_sent << " completed="
      << (all_delivered ? std::to_string(rounds_to_completion) : "never");
+  if (!all_delivered && !per_node_tx_tokens.empty()) {
+    os << " completion=" << completion_fraction()
+       << " coverage=" << token_coverage();
+  }
   return os.str();
 }
 
@@ -213,6 +231,13 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
   if (metrics.all_delivered && metrics.rounds_to_completion == kNever) {
     metrics.rounds_to_completion = metrics.rounds_executed;
   }
+  metrics.complete_nodes_final = complete_nodes;
+  metrics.per_node_tokens_known.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    metrics.per_node_tokens_known[v] = processes_[v]->knowledge().count();
+  }
+  metrics.token_universe =
+      n > 0 ? processes_.front()->knowledge().universe() : 0;
   return metrics;
 }
 

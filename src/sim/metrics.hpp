@@ -36,7 +36,24 @@ struct SimMetrics {
   std::vector<std::size_t> per_node_tx_tokens;
   std::vector<std::size_t> per_node_rx_tokens;
 
+  // Degradation metrics: under faults and loss a run that misses
+  // all_delivered is not a single bit of failure — these measure how much
+  // of the dissemination still happened at the cutoff.
+  std::size_t token_universe = 0;        ///< k (0 before any run)
+  std::size_t complete_nodes_final = 0;  ///< nodes holding all k at cutoff
+  std::vector<std::size_t> per_node_tokens_known;  ///< |TA_v| at cutoff
+
+  /// Fraction of nodes that held all k tokens when the run ended.
+  double completion_fraction() const;
+
+  /// Mean over nodes of |TA_v| / k at cutoff (1.0 iff all_delivered).
+  double token_coverage() const;
+
   std::string to_string() const;
+
+  /// Byte-identical comparison of every recorded metric; the determinism
+  /// regression tests rely on this being exhaustive.
+  friend bool operator==(const SimMetrics&, const SimMetrics&) = default;
 };
 
 /// Simple linear radio energy model (WSN-style): energy per transmitted

@@ -1,0 +1,162 @@
+// Online (T, L)-HiNet assumption monitoring over realized traces.
+#include "analysis/assumption_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hinet_generator.hpp"
+
+namespace hinet {
+namespace {
+
+/// Trace where nothing ever changes: head 0, member 1, gateway-free.
+Ctvg static_trace(std::size_t rounds) {
+  const Graph g(3, {{0, 1}, {0, 2}});
+  HierarchyView h(3);
+  h.set_head(0);
+  h.set_member(1, 0);
+  h.set_member(2, 0);
+  return Ctvg(GraphSequence(std::vector<Graph>(rounds, g)),
+              HierarchySequence(std::vector<HierarchyView>(rounds, h)));
+}
+
+TEST(AssumptionMonitor, StaticTraceIsClean) {
+  Ctvg trace = static_trace(12);
+  const AssumptionReport report = monitor_assumptions(trace, 12, 4, 1);
+  ASSERT_EQ(report.windows.size(), 3u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.first_violation_round(), std::nullopt);
+  for (const WindowReport& w : report.windows) {
+    EXPECT_TRUE(w.ok());
+    EXPECT_EQ(w.violation, "");
+    EXPECT_EQ(w.length, 4u);
+  }
+}
+
+TEST(AssumptionMonitor, IncompleteTrailingWindowIsIgnored) {
+  Ctvg trace = static_trace(10);
+  const AssumptionReport report = monitor_assumptions(trace, 10, 4, 1);
+  EXPECT_EQ(report.windows.size(), 2u);  // [0,4) and [4,8); [8,10) dropped
+}
+
+TEST(AssumptionMonitor, CleanHiNetGeneratorTraceIsClean) {
+  // The generator constructs Definition-8 traces by design; judging with
+  // the *matching* (T, L) must report every window clean.
+  HiNetConfig cfg;
+  cfg.nodes = 30;
+  cfg.heads = 4;
+  cfg.phase_length = 6;
+  cfg.phases = 5;
+  cfg.hop_l = 2;
+  cfg.seed = 11;
+  HiNetTrace trace = make_hinet_trace(cfg);
+  const std::size_t rounds = cfg.phase_length * cfg.phases;
+  const AssumptionReport report =
+      monitor_assumptions(trace.ctvg, rounds, cfg.phase_length, cfg.hop_l);
+  ASSERT_EQ(report.windows.size(), cfg.phases);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(AssumptionMonitor, HeadChangeInsideWindowIsFlagged) {
+  const Graph g(3, {{0, 1}, {0, 2}, {1, 2}});
+  HierarchyView h0(3);
+  h0.set_head(0);
+  h0.set_member(1, 0);
+  h0.set_member(2, 0);
+  HierarchyView h1(3);  // head moved to node 1 mid-window
+  h1.set_head(1);
+  h1.set_member(0, 1);
+  h1.set_member(2, 1);
+  Ctvg trace(GraphSequence(std::vector<Graph>(4, g)),
+             HierarchySequence({h0, h1, h1, h1}));
+  const AssumptionReport report = monitor_assumptions(trace, 4, 2, 1);
+  ASSERT_EQ(report.windows.size(), 2u);
+  EXPECT_FALSE(report.windows[0].ok());
+  EXPECT_FALSE(report.windows[0].head_set_stable);
+  EXPECT_FALSE(report.windows[0].hierarchy_stable);
+  EXPECT_NE(report.windows[0].violation.find("head set"), std::string::npos);
+  EXPECT_TRUE(report.windows[1].ok());  // stable from round 1 on
+  EXPECT_EQ(report.first_violation_round(), std::optional<Round>(0));
+  EXPECT_NE(report.to_string().find("VIOLATED"), std::string::npos);
+}
+
+TEST(AssumptionMonitor, AffiliationChurnAloneBreaksOnlyHierarchy) {
+  // Head set constant, but member 2 flips between the two heads inside the
+  // window: Definition 2 holds, Definition 4 does not.
+  const Graph g(3, {{0, 2}, {1, 2}, {0, 1}});
+  HierarchyView a(3);
+  a.set_head(0);
+  a.set_head(1);
+  a.set_member(2, 0);
+  HierarchyView b(3);
+  b.set_head(0);
+  b.set_head(1);
+  b.set_member(2, 1);
+  Ctvg trace(GraphSequence(std::vector<Graph>(2, g)),
+             HierarchySequence({a, b}));
+  const AssumptionReport report = monitor_assumptions(trace, 2, 2, 1);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_TRUE(report.windows[0].head_set_stable);
+  EXPECT_FALSE(report.windows[0].hierarchy_stable);
+  EXPECT_NE(report.windows[0].violation.find("hierarchy"),
+            std::string::npos);
+}
+
+TEST(AssumptionMonitor, LostHeadLinkBreaksConnectivity) {
+  // Two heads joined only by edge 0-1, present in round 0 but not round 1:
+  // the window's stable subgraph cannot span both heads (Definition 5).
+  HierarchyView h(2);
+  h.set_head(0);
+  h.set_head(1);
+  std::vector<Graph> rounds;
+  rounds.push_back(Graph(2, {{0, 1}}));
+  rounds.push_back(Graph(2));
+  Ctvg trace(GraphSequence(std::move(rounds)),
+             HierarchySequence(std::vector<HierarchyView>(2, h)));
+  const AssumptionReport report = monitor_assumptions(trace, 2, 2, 1);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_TRUE(report.windows[0].head_set_stable);
+  EXPECT_FALSE(report.windows[0].head_connectivity);
+  EXPECT_FALSE(report.windows[0].l_hop_ok);
+  EXPECT_NE(report.windows[0].violation.find("stable subgraph"),
+            std::string::npos);
+}
+
+TEST(AssumptionMonitor, BackboneDetourBreaksOnlyLHop) {
+  // Heads 0 and 3 joined through gateways 1 and 2: backbone distance 3.
+  // Fine for L = 3, a violation for L = 2.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  HierarchyView h(4);
+  h.set_head(0);
+  h.set_head(3);
+  h.set_member(1, 0, /*gateway=*/true);
+  h.set_member(2, 3, /*gateway=*/true);
+  Ctvg ok_trace(GraphSequence(std::vector<Graph>(2, g)),
+                HierarchySequence(std::vector<HierarchyView>(2, h)));
+  EXPECT_TRUE(monitor_assumptions(ok_trace, 2, 2, 3).clean());
+
+  Ctvg bad_trace(GraphSequence(std::vector<Graph>(2, g)),
+                 HierarchySequence(std::vector<HierarchyView>(2, h)));
+  const AssumptionReport report = monitor_assumptions(bad_trace, 2, 2, 2);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_TRUE(report.windows[0].head_connectivity);
+  EXPECT_FALSE(report.windows[0].l_hop_ok);
+  EXPECT_NE(report.windows[0].violation.find("L-hop"), std::string::npos);
+}
+
+TEST(AssumptionMonitor, JoinCompletionFillsWindowEnds) {
+  Ctvg trace = static_trace(8);
+  AssumptionReport report = monitor_assumptions(trace, 8, 4, 1);
+  ASSERT_EQ(report.windows.size(), 2u);
+  EXPECT_EQ(report.windows[0].completion_fraction_end, -1.0);
+
+  SimMetrics m;
+  m.per_node_tx_tokens.assign(4, 0);  // n = 4
+  m.complete_nodes_per_round = {0, 1, 2, 2, 3, 4};  // stopped after round 5
+  join_completion(report, m);
+  EXPECT_DOUBLE_EQ(report.windows[0].completion_fraction_end, 0.5);
+  // Second window ends past the executed rounds: clamped to the last one.
+  EXPECT_DOUBLE_EQ(report.windows[1].completion_fraction_end, 1.0);
+}
+
+}  // namespace
+}  // namespace hinet

@@ -36,6 +36,75 @@ TEST(Crashes, MultipleCrashesAccumulate) {
   EXPECT_EQ(seq.graph_at(3).edge_count(), 3u);  // minus node 4's remaining 3
 }
 
+TEST(Crashes, RecoveryRestoresEdges) {
+  // Node 1 is down for [2, 5): full degree before, isolated during, and
+  // full degree again from the recovery round on.
+  StaticNetwork base(gen::complete(4));
+  const CrashEvent plan[] = {{1, 2, 5}};
+  GraphSequence seq = apply_crashes(base, 8, plan);
+  for (Round r = 0; r < 2; ++r) {
+    EXPECT_EQ(seq.graph_at(r).degree(1), 3u) << "round " << r;
+  }
+  for (Round r = 2; r < 5; ++r) {
+    EXPECT_EQ(seq.graph_at(r).degree(1), 0u) << "round " << r;
+  }
+  for (Round r = 5; r < 8; ++r) {
+    EXPECT_EQ(seq.graph_at(r).degree(1), 3u) << "round " << r;
+  }
+}
+
+TEST(Crashes, DownAtMatchesHalfOpenWindow) {
+  const CrashEvent e{2, 3, 6};
+  EXPECT_FALSE(e.down_at(2));
+  EXPECT_TRUE(e.down_at(3));
+  EXPECT_TRUE(e.down_at(5));
+  EXPECT_FALSE(e.down_at(6));
+  const CrashEvent permanent{2, 3};
+  EXPECT_TRUE(permanent.down_at(1'000'000));
+}
+
+TEST(Crashes, AliveNodesSeesRecovery) {
+  const CrashEvent plan[] = {{1, 2, 4}, {3, 0}};
+  EXPECT_EQ(alive_nodes(5, 0, plan), (std::vector<NodeId>{0, 1, 2, 4}));
+  EXPECT_EQ(alive_nodes(5, 2, plan), (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_EQ(alive_nodes(5, 4, plan), (std::vector<NodeId>{0, 1, 2, 4}));
+}
+
+TEST(Crashes, RecoveryNotAfterCrashRejected) {
+  StaticNetwork base(gen::complete(3));
+  const CrashEvent plan[] = {{1, 4, 4}};  // empty window: surely a typo
+  EXPECT_THROW(apply_crashes(base, 6, plan), PreconditionError);
+}
+
+TEST(Crashes, RecoveredRelayResumesForwarding) {
+  // A 4-node path 0-1-2-3; relay 1 sleeps for rounds [1, 6).  Token 0
+  // starts at node 0 and can only cross through node 1, so nodes 2 and 3
+  // learn it only after the recovery.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  StaticNetwork base(g);
+  const CrashEvent plan[] = {{1, 1, 6}};
+  GraphSequence seq = apply_crashes(base, 12, plan);
+
+  std::vector<TokenSet> init(4, TokenSet(1));
+  init[0].insert(0);
+  KloFloodParams p;
+  p.k = 1;
+  p.rounds = 12;
+  auto procs = make_klo_flood_processes(init, p);
+  std::vector<const Process*> views;
+  for (const auto& pr : procs) views.push_back(pr.get());
+  Engine engine(seq, nullptr, std::move(procs));
+  const SimMetrics m =
+      engine.run({.max_rounds = 12, .stop_when_complete = false});
+  EXPECT_TRUE(m.all_delivered);
+  // Completion could not have happened while the relay slept.
+  ASSERT_TRUE(m.rounds_to_completion != kNever);
+  EXPECT_GT(m.rounds_to_completion, 6u);
+}
+
 TEST(Crashes, OutOfRangeNodeRejected) {
   StaticNetwork base(Graph(3));
   const CrashEvent plan[] = {{7, 0}};

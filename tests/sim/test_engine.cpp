@@ -202,6 +202,80 @@ TEST(Engine, SpecRequiresNetwork) {
   EXPECT_THROW(Engine{std::move(spec)}, PreconditionError);
 }
 
+// run_simulation() validates the spec up front with actionable messages;
+// these tests pin both the rejection and the message content so a
+// mis-built spec fails naming the field to fix.
+
+std::string run_simulation_error(SimulationSpec spec) {
+  try {
+    run_simulation(std::move(spec));
+  } catch (const PreconditionError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(SpecValidation, RejectsZeroMaxRounds) {
+  SimulationSpec spec;
+  spec.network = std::make_unique<StaticNetwork>(gen::path(2));
+  spec.processes = echo_processes(2, 1, 0);
+  spec.engine.max_rounds = 0;
+  const std::string msg = run_simulation_error(std::move(spec));
+  EXPECT_NE(msg.find("max_rounds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("no rounds"), std::string::npos) << msg;
+}
+
+TEST(SpecValidation, RejectsProcessCountMismatchWithCounts) {
+  SimulationSpec spec;
+  spec.network = std::make_unique<StaticNetwork>(gen::path(3));
+  spec.processes = echo_processes(2, 1, 0);
+  spec.engine.max_rounds = 5;
+  const std::string msg = run_simulation_error(std::move(spec));
+  // The message names both counts so the off-by-what is obvious.
+  EXPECT_NE(msg.find("2 entries"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3-node"), std::string::npos) << msg;
+}
+
+TEST(SpecValidation, RejectsHierarchyNodeCountMismatch) {
+  SimulationSpec spec;
+  spec.network = std::make_unique<StaticNetwork>(gen::path(3));
+  spec.processes = echo_processes(3, 1, 0);
+  spec.hierarchy = std::make_unique<HierarchySequence>(
+      std::vector<HierarchyView>{HierarchyView(4)});
+  spec.engine.max_rounds = 5;
+  const std::string msg = run_simulation_error(std::move(spec));
+  EXPECT_NE(msg.find("hierarchy"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3"), std::string::npos) << msg;
+}
+
+TEST(SpecValidation, RejectsTraceRoundCountMismatch) {
+  // Both sides are explicit traces of different length: almost always a
+  // mis-assembled spec (roles would silently freeze).
+  std::vector<Graph> rounds(4, gen::path(3));
+  std::vector<HierarchyView> hier(2, HierarchyView(3));
+  SimulationSpec spec;
+  spec.network = std::make_unique<GraphSequence>(std::move(rounds));
+  spec.hierarchy = std::make_unique<HierarchySequence>(std::move(hier));
+  spec.processes = echo_processes(3, 1, 0);
+  spec.engine.max_rounds = 4;
+  const std::string msg = run_simulation_error(std::move(spec));
+  EXPECT_NE(msg.find("4 rounds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+}
+
+TEST(SpecValidation, AcceptsMatchingTraces) {
+  std::vector<Graph> rounds(3, gen::path(2));
+  std::vector<HierarchyView> hier(3, HierarchyView(2));
+  SimulationSpec spec;
+  spec.network = std::make_unique<GraphSequence>(std::move(rounds));
+  spec.hierarchy = std::make_unique<HierarchySequence>(std::move(hier));
+  spec.processes = echo_processes(2, 1, 0);
+  spec.engine.max_rounds = 3;
+  const SimMetrics m = run_simulation(std::move(spec));
+  EXPECT_TRUE(m.all_delivered);
+}
+
 TEST(Engine, SpecOwnedChannelIsApplied) {
   // A channel dropping everything: delivery must never happen.
   class BlackholeChannel final : public ChannelModel {

@@ -1,0 +1,290 @@
+// FaultPlan / FaultyNetwork semantics, the Gilbert–Elliott burst channel,
+// and the cross-channel determinism regression (same seed => byte-identical
+// SimMetrics under an active fault plan).
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/klo.hpp"
+#include "graph/generators.hpp"
+#include "sim/channel.hpp"
+#include "sim/spec.hpp"
+
+namespace hinet {
+namespace {
+
+TEST(FaultPlan, EmptyPlanIsNeverActive) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.active_at(0));
+  EXPECT_FALSE(plan.node_down(0, 0));
+}
+
+TEST(FaultPlan, ActiveAtCoversAllEventKinds) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 2, 4});
+  plan.partitions.push_back({10, 12, {0, 1}});
+  plan.bursts.push_back({20, 3, {{0, 1}}});
+  EXPECT_FALSE(plan.active_at(1));
+  EXPECT_TRUE(plan.active_at(2));
+  EXPECT_TRUE(plan.active_at(3));
+  EXPECT_FALSE(plan.active_at(4));  // recovered
+  EXPECT_TRUE(plan.active_at(11));
+  EXPECT_FALSE(plan.active_at(12));  // healed
+  EXPECT_TRUE(plan.active_at(22));
+  EXPECT_FALSE(plan.active_at(23));  // burst over
+  EXPECT_TRUE(plan.node_down(1, 3));
+  EXPECT_FALSE(plan.node_down(1, 4));
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeEvents) {
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({9, 0});
+    EXPECT_THROW(plan.validate(5), PreconditionError);
+  }
+  {
+    FaultPlan plan;
+    plan.partitions.push_back({0, kNoRecovery, {2, 7}});
+    EXPECT_THROW(plan.validate(5), PreconditionError);
+  }
+  {
+    FaultPlan plan;
+    plan.bursts.push_back({0, 1, {{1, 6}}});
+    EXPECT_THROW(plan.validate(5), PreconditionError);
+  }
+}
+
+TEST(FaultyNetwork, EmptyPlanForwardsByReference) {
+  StaticNetwork base(gen::complete(4));
+  FaultyNetwork faulty(base, FaultPlan{});
+  for (Round r = 0; r < 3; ++r) {
+    EXPECT_EQ(&faulty.graph_at(r), &base.graph_at(r)) << "round " << r;
+  }
+}
+
+TEST(FaultyNetwork, QuietRoundsForwardEvenWithNonEmptyPlan) {
+  StaticNetwork base(gen::complete(4));
+  FaultPlan plan;
+  plan.crashes.push_back({1, 5, 7});
+  FaultyNetwork faulty(base, plan);
+  EXPECT_EQ(&faulty.graph_at(4), &base.graph_at(4));  // pre-fault: forwarded
+  EXPECT_NE(&faulty.graph_at(5), &base.graph_at(5));  // edited copy
+  EXPECT_EQ(&faulty.graph_at(7), &base.graph_at(7));  // recovered: forwarded
+}
+
+TEST(FaultyNetwork, CrashWindowRemovesAndRestoresEdges) {
+  StaticNetwork base(gen::complete(4));
+  FaultPlan plan;
+  plan.crashes.push_back({2, 1, 3});
+  FaultyNetwork faulty(base, plan);
+  EXPECT_EQ(faulty.graph_at(0).degree(2), 3u);
+  EXPECT_EQ(faulty.graph_at(1).degree(2), 0u);
+  EXPECT_TRUE(faulty.graph_at(1).has_edge(0, 1));  // others untouched
+  EXPECT_EQ(faulty.graph_at(2).degree(2), 0u);
+  EXPECT_EQ(faulty.graph_at(3).degree(2), 3u);
+}
+
+TEST(FaultyNetwork, PartitionCutsExactlyCrossEdges) {
+  StaticNetwork base(gen::complete(5));
+  FaultPlan plan;
+  plan.partitions.push_back({2, 4, {0, 1}});
+  FaultyNetwork faulty(base, plan);
+  const Graph& g = faulty.graph_at(2);
+  EXPECT_TRUE(g.has_edge(0, 1));  // inside the group
+  EXPECT_TRUE(g.has_edge(2, 3));  // inside the complement
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 4));
+  // Healed: everything back.
+  EXPECT_EQ(faulty.graph_at(4).edge_count(), 10u);
+}
+
+TEST(FaultyNetwork, LinkBurstRemovesListedLinksForWindow) {
+  StaticNetwork base(gen::ring(5));
+  FaultPlan plan;
+  plan.bursts.push_back({1, 2, {{0, 1}, {2, 3}}});
+  FaultyNetwork faulty(base, plan);
+  EXPECT_TRUE(faulty.graph_at(0).has_edge(0, 1));
+  for (Round r = 1; r < 3; ++r) {
+    EXPECT_FALSE(faulty.graph_at(r).has_edge(0, 1)) << "round " << r;
+    EXPECT_FALSE(faulty.graph_at(r).has_edge(2, 3)) << "round " << r;
+    EXPECT_TRUE(faulty.graph_at(r).has_edge(1, 2)) << "round " << r;
+  }
+  EXPECT_TRUE(faulty.graph_at(3).has_edge(0, 1));
+}
+
+TEST(FaultyNetwork, DecoratorsCompose) {
+  // Crash plan stacked on a burst plan: round 2 sees both edits.
+  StaticNetwork base(gen::complete(4));
+  FaultPlan bursts;
+  bursts.bursts.push_back({2, 1, {{0, 1}}});
+  FaultPlan crashes;
+  crashes.crashes.push_back({3, 2, 3});
+  FaultyNetwork inner(base, bursts);
+  FaultyNetwork outer(inner, crashes);
+  const Graph& g = outer.graph_at(2);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(outer.graph_at(3).edge_count(), 6u);  // all faults over
+}
+
+TEST(FaultyNetwork, MaterializeFreezesRealizedTrace) {
+  StaticNetwork base(gen::complete(3));
+  FaultPlan plan;
+  plan.crashes.push_back({0, 1, 2});
+  FaultyNetwork faulty(base, plan);
+  GraphSequence frozen = materialize(faulty, 3);
+  EXPECT_EQ(frozen.round_count(), 3u);
+  EXPECT_EQ(frozen.graph_at(0).degree(0), 2u);
+  EXPECT_EQ(frozen.graph_at(1).degree(0), 0u);
+  EXPECT_EQ(frozen.graph_at(2).degree(0), 2u);
+}
+
+TEST(RandomChurnPlan, DeterministicDistinctVictimsWithDowntime) {
+  const FaultPlan a = random_churn_plan(20, 5, 50, 8, 42);
+  const FaultPlan b = random_churn_plan(20, 5, 50, 8, 42);
+  ASSERT_EQ(a.crashes.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
+    EXPECT_EQ(a.crashes[i].round, b.crashes[i].round);
+    EXPECT_EQ(a.crashes[i].recovery, a.crashes[i].round + 8);
+    EXPECT_LT(a.crashes[i].round, 50u);
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NE(a.crashes[i].node, a.crashes[j].node);
+    }
+  }
+  const FaultPlan c = random_churn_plan(20, 5, 50, 8, 43);
+  bool differs = false;
+  for (std::size_t i = 0; i < 5; ++i) {
+    differs |= a.crashes[i].node != c.crashes[i].node ||
+               a.crashes[i].round != c.crashes[i].round;
+  }
+  EXPECT_TRUE(differs) << "different seeds should give different plans";
+}
+
+TEST(GilbertElliott, AllGoodNeverLoses) {
+  GilbertElliottParams p;
+  p.p_good_to_bad = 0.0;  // chains never leave Good
+  GilbertElliottChannel ch(p, 7);
+  const Graph g = gen::complete(4);
+  Packet pkt;
+  pkt.src = 0;
+  for (Round r = 0; r < 20; ++r) {
+    ch.begin_round(r, g, {});
+    for (NodeId v = 1; v < 4; ++v) {
+      EXPECT_TRUE(ch.deliver(r, pkt, v));
+      EXPECT_FALSE(ch.in_bad_state(v));
+    }
+  }
+}
+
+TEST(GilbertElliott, StuckBadLosesEverything) {
+  GilbertElliottParams p;
+  p.p_good_to_bad = 1.0;  // everyone enters Bad on round 0...
+  p.p_bad_to_good = 0.0;  // ...and never leaves
+  GilbertElliottChannel ch(p, 7);
+  const Graph g = gen::complete(3);
+  Packet pkt;
+  pkt.src = 0;
+  for (Round r = 0; r < 10; ++r) {
+    ch.begin_round(r, g, {});
+    for (NodeId v = 1; v < 3; ++v) {
+      EXPECT_FALSE(ch.deliver(r, pkt, v));
+      EXPECT_TRUE(ch.in_bad_state(v));
+    }
+  }
+}
+
+TEST(GilbertElliott, StateStreamIndependentOfTraffic) {
+  // Two channels with the same seed, one asked to deliver along the way:
+  // the Bad/Good state sequences must still agree round by round, because
+  // state draws and loss draws come from separate streams.
+  GilbertElliottParams p;
+  p.p_good_to_bad = 0.3;
+  p.p_bad_to_good = 0.3;
+  GilbertElliottChannel quiet(p, 99);
+  GilbertElliottChannel busy(p, 99);
+  const Graph g = gen::complete(6);
+  Packet pkt;
+  pkt.src = 0;
+  for (Round r = 0; r < 30; ++r) {
+    quiet.begin_round(r, g, {});
+    busy.begin_round(r, g, {});
+    for (NodeId v = 1; v < 6; ++v) busy.deliver(r, pkt, v);
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_EQ(quiet.in_bad_state(v), busy.in_bad_state(v))
+          << "round " << r << " node " << v;
+    }
+  }
+}
+
+TEST(GilbertElliott, RejectsNonProbabilities) {
+  GilbertElliottParams p;
+  p.loss_bad = 1.5;
+  EXPECT_THROW(GilbertElliottChannel(p, 1), PreconditionError);
+  GilbertElliottParams q;
+  q.p_good_to_bad = -0.1;
+  EXPECT_THROW(GilbertElliottChannel(q, 1), PreconditionError);
+}
+
+// --- Determinism regression: same seed => byte-identical SimMetrics -----
+
+FaultPlan active_plan() {
+  FaultPlan plan;
+  plan.crashes.push_back({3, 5, 12});
+  plan.partitions.push_back({8, 14, {0, 1, 2, 3}});
+  plan.bursts.push_back({16, 4, {{4, 5}, {10, 11}}});
+  return plan;
+}
+
+enum class Ch { kLossy, kCollision, kGilbertElliott };
+
+SimMetrics run_faulty(Ch which, std::uint64_t seed) {
+  constexpr std::size_t n = 16;
+  constexpr std::size_t k = 4;
+  std::vector<TokenSet> init(n, TokenSet(k));
+  for (TokenId t = 0; t < k; ++t) init[t * 4].insert(t);
+  KloFloodParams p;
+  p.k = k;
+  p.rounds = 40;
+
+  SimulationSpec spec;
+  spec.network = std::make_unique<FaultyNetwork>(
+      std::make_unique<StaticNetwork>(gen::ring(n)), active_plan());
+  spec.processes = make_klo_flood_processes(init, p);
+  switch (which) {
+    case Ch::kLossy:
+      spec.channel = std::make_unique<LossyChannel>(0.3, seed);
+      break;
+    case Ch::kCollision:
+      spec.channel = std::make_unique<CollisionChannel>(2);
+      break;
+    case Ch::kGilbertElliott:
+      spec.channel =
+          std::make_unique<GilbertElliottChannel>(GilbertElliottParams{}, seed);
+      break;
+  }
+  spec.engine.max_rounds = 40;
+  spec.engine.stop_when_complete = false;
+  return run_simulation(std::move(spec));
+}
+
+TEST(Determinism, SameSeedSameMetricsUnderFaults) {
+  for (Ch ch : {Ch::kLossy, Ch::kCollision, Ch::kGilbertElliott}) {
+    const SimMetrics a = run_faulty(ch, 1234);
+    const SimMetrics b = run_faulty(ch, 1234);
+    EXPECT_TRUE(a == b) << "channel " << static_cast<int>(ch)
+                        << " not seed-deterministic: " << a.to_string()
+                        << " vs " << b.to_string();
+  }
+}
+
+TEST(Determinism, SeedActuallyMatters) {
+  const SimMetrics a = run_faulty(Ch::kLossy, 1);
+  const SimMetrics b = run_faulty(Ch::kLossy, 2);
+  EXPECT_FALSE(a == b) << "different seeds should perturb a lossy run";
+}
+
+}  // namespace
+}  // namespace hinet
