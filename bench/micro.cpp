@@ -147,8 +147,7 @@ void BM_EngineAlg1EndToEnd(benchmark::State& state) {
         run_simulation(make_scenario(Scenario::kHiNetInterval, cfg, ++seed)
                            .spec));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EngineAlg1EndToEnd)->Arg(64)->Arg(128);
 

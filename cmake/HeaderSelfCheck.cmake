@@ -1,0 +1,41 @@
+# Header self-sufficiency gate: every public header under src/ must compile
+# as the sole include of a translation unit, so users (and tests) can include
+# any header first without relying on transitive include order.
+#
+# One TU is generated per header into an EXCLUDE_FROM_ALL object library; the
+# HeaderSelfSufficiency ctest builds that target, so a header that loses an
+# include fails the test without breaking the main build.
+file(GLOB_RECURSE _hinet_public_headers RELATIVE ${CMAKE_SOURCE_DIR}/src
+  CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.hpp)
+list(SORT _hinet_public_headers)
+
+set(_selfcheck_tus)
+foreach(_hdr IN LISTS _hinet_public_headers)
+  string(MAKE_C_IDENTIFIER ${_hdr} _id)
+  set(_tu ${CMAKE_BINARY_DIR}/header_selfcheck/${_id}.cpp)
+  set(_content "#include \"${_hdr}\"\n\n// Anchor so the TU is never empty under -Wpedantic.\nnamespace hinet::selfcheck { int anchor_${_id}() { return 0; } }\n")
+  # Only rewrite when the content changes, so re-running cmake does not dirty
+  # every generated TU.
+  set(_stale TRUE)
+  if(EXISTS ${_tu})
+    file(READ ${_tu} _existing)
+    if(_existing STREQUAL _content)
+      set(_stale FALSE)
+    endif()
+  endif()
+  if(_stale)
+    file(WRITE ${_tu} "${_content}")
+  endif()
+  list(APPEND _selfcheck_tus ${_tu})
+endforeach()
+
+add_library(header_selfcheck OBJECT EXCLUDE_FROM_ALL ${_selfcheck_tus})
+target_include_directories(header_selfcheck PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(header_selfcheck PRIVATE hinet_warnings)
+
+add_test(NAME HeaderSelfSufficiency
+  COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR}
+          --target header_selfcheck --config $<CONFIG>)
+set_tests_properties(HeaderSelfSufficiency PROPERTIES
+  LABELS "static_analysis"
+  TIMEOUT 600)

@@ -1,0 +1,49 @@
+# The `tidy` target: clang-tidy (configuration in .clang-tidy) plus cppcheck
+# over the production sources.  Both tools are optional at configure time so
+# the target always exists — on machines without them it prints what it
+# skipped and exits 0; the CI lint job installs both, so findings still gate
+# every push.
+find_program(HINET_CLANG_TIDY NAMES clang-tidy)
+find_program(HINET_RUN_CLANG_TIDY NAMES run-clang-tidy run-clang-tidy.py)
+find_program(HINET_CPPCHECK NAMES cppcheck)
+
+set(_tidy_commands)
+
+if(HINET_CLANG_TIDY)
+  file(GLOB_RECURSE _tidy_sources CONFIGURE_DEPENDS
+    ${CMAKE_SOURCE_DIR}/src/*.cpp
+    ${CMAKE_SOURCE_DIR}/tools/*.cpp)
+  if(HINET_RUN_CLANG_TIDY)
+    list(APPEND _tidy_commands
+      COMMAND ${HINET_RUN_CLANG_TIDY} -quiet -p ${CMAKE_BINARY_DIR}
+              "^${CMAKE_SOURCE_DIR}/(src|tools)/")
+  else()
+    list(APPEND _tidy_commands
+      COMMAND ${HINET_CLANG_TIDY} -p ${CMAKE_BINARY_DIR} --quiet
+              ${_tidy_sources})
+  endif()
+else()
+  list(APPEND _tidy_commands
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "tidy: clang-tidy not found, skipping (CI runs it)")
+endif()
+
+if(HINET_CPPCHECK)
+  list(APPEND _tidy_commands
+    COMMAND ${HINET_CPPCHECK}
+            --enable=warning,performance,portability
+            --std=c++20 --inline-suppr --error-exitcode=1 --quiet
+            --suppressions-list=${CMAKE_SOURCE_DIR}/.cppcheck-suppressions
+            -I ${CMAKE_SOURCE_DIR}/src -I ${CMAKE_SOURCE_DIR}/tools
+            ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/tools)
+else()
+  list(APPEND _tidy_commands
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "tidy: cppcheck not found, skipping (CI runs it)")
+endif()
+
+add_custom_target(tidy
+  ${_tidy_commands}
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  COMMENT "tidy: clang-tidy + cppcheck over src/ and tools/"
+  VERBATIM)

@@ -51,7 +51,7 @@ int main(int argc, char** argv) try {
     (void)scenario_generator(Scenario::kHiNetInterval, cfg, seed, &sched);
     const PropertyResult ok =
         check_hinet(trace.ctvg, trace.ctvg.round_count(), sched.phase_length,
-                    static_cast<int>(cfg.hop_l));
+                    cfg.hop_l);
     std::cout << "   " << (ok ? "model properties hold" : ok.violation)
               << "\n\n";
   }

@@ -131,7 +131,7 @@ int main(int argc, char** argv) try {
     }
     std::cout << "STRUCTURE: OK (" << trace.node_count() << " nodes, "
               << trace.round_count() << " rounds)\n";
-    const auto t = static_cast<std::size_t>(cfg.phase_length);
+    const std::size_t t = cfg.phase_length;
     if (t >= 1 && t <= trace.round_count()) {
       const PropertyResult r =
           check_hinet(trace, trace.round_count(), t, cfg.hop_l);

@@ -10,6 +10,10 @@ namespace hinet {
 
 namespace {
 
+// wall_ms is observability only — it is excluded from aggregate stats, never
+// feeds simulation state, and the parallel runner stays byte-identical to
+// serial regardless of timing.
+// detlint-allow(banned-time): replicate wall-time is a bench-style timer
 using Clock = std::chrono::steady_clock;
 
 ReplicateResult run_one(const SpecFactory& factory, std::uint64_t seed) {

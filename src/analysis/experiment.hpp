@@ -32,7 +32,7 @@ using SpecFactory = std::function<SimulationSpec(std::uint64_t seed)>;
 /// cannot drift apart.
 constexpr std::uint64_t replicate_seed(std::uint64_t base_seed,
                                        std::size_t rep) {
-  return base_seed + static_cast<std::uint64_t>(rep);
+  return base_seed + rep;
 }
 
 /// Worker-pool width used when callers pass jobs == 0: the hardware

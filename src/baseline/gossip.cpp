@@ -21,8 +21,7 @@ std::optional<Packet> GossipProcess::transmit(const RoundContext& ctx) {
   if (ta_.empty()) return std::nullopt;
   const auto neigh = ctx.neighbors();
   if (neigh.empty()) return std::nullopt;
-  const NodeId target =
-      neigh[static_cast<std::size_t>(rng_.below(neigh.size()))];
+  const NodeId target = neigh[rng_.below(neigh.size())];
   Packet pkt;
   pkt.src = self_;
   pkt.dest = target;
@@ -30,7 +29,7 @@ std::optional<Packet> GossipProcess::transmit(const RoundContext& ctx) {
     pkt.tokens = ta_;
   } else {
     const auto all = ta_.to_vector();
-    const TokenId pick = all[static_cast<std::size_t>(rng_.below(all.size()))];
+    const TokenId pick = all[rng_.below(all.size())];
     pkt.tokens = TokenSet(params_.k, {pick});
   }
   return pkt;

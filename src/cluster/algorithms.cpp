@@ -195,6 +195,7 @@ int measure_l_hop_connectivity(const HierarchyView& h, const Graph& g) {
   // backbone distances.  Prim's algorithm, tracking the max edge used.
   std::vector<int> best(m, std::numeric_limits<int>::max());
   std::vector<char> in_tree(m, 0);
+  if (best.empty()) return 0;  // m >= 2 here; keeps -Wnull-dereference provable
   best[0] = 0;
   int bottleneck = 0;
   for (std::size_t it = 0; it < m; ++it) {
@@ -202,7 +203,10 @@ int measure_l_hop_connectivity(const HierarchyView& h, const Graph& g) {
     for (std::size_t i = 0; i < m; ++i) {
       if (!in_tree[i] && (pick == m || best[i] < best[pick])) pick = i;
     }
-    if (best[pick] == std::numeric_limits<int>::max()) return -1;
+    // pick == m cannot happen (each iteration adds exactly one node, so an
+    // un-treed candidate always exists), but the guard makes that invariant
+    // explicit for readers and the optimizer alike.
+    if (pick == m || best[pick] == std::numeric_limits<int>::max()) return -1;
     in_tree[pick] = 1;
     bottleneck = std::max(bottleneck, best[pick]);
     for (std::size_t j = 0; j < m; ++j) {

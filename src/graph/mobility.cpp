@@ -55,7 +55,7 @@ void manhattan_pick_next(ManhattanState& s, std::size_t streets, Rng& rng) {
   if (s.from_x + 1 < streets) options.push_back({s.from_x + 1, s.from_y});
   if (s.from_y > 0) options.push_back({s.from_x, s.from_y - 1});
   if (s.from_y + 1 < streets) options.push_back({s.from_x, s.from_y + 1});
-  const auto pick = options[static_cast<std::size_t>(rng.below(options.size()))];
+  const auto pick = options[rng.below(options.size())];
   s.to_x = pick.first;
   s.to_y = pick.second;
   s.progress = 0.0;
@@ -72,8 +72,8 @@ std::vector<std::vector<gen::Point2D>> simulate_positions(
     std::vector<ManhattanState> st(cfg.nodes);
     std::vector<gen::Point2D> pos(cfg.nodes);
     for (std::size_t i = 0; i < cfg.nodes; ++i) {
-      st[i].to_x = static_cast<std::size_t>(rng.below(cfg.streets));
-      st[i].to_y = static_cast<std::size_t>(rng.below(cfg.streets));
+      st[i].to_x = rng.below(cfg.streets);
+      st[i].to_y = rng.below(cfg.streets);
       // speed is expressed in unit-square distance; convert to segment
       // fraction per round.
       st[i].speed =

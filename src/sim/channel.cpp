@@ -10,14 +10,19 @@ LossyChannel::LossyChannel(double loss, std::uint64_t seed)
   HINET_REQUIRE(loss >= 0.0 && loss <= 1.0, "loss outside [0,1]");
 }
 
+// detlint: hot-path-begin — deliver() runs once per (packet, receiver) pair
+// every round.
 bool LossyChannel::deliver(Round, const Packet&, NodeId) {
   return !rng_.bernoulli(loss_);
 }
+// detlint: hot-path-end
 
 CollisionChannel::CollisionChannel(std::size_t capture) : capture_(capture) {
   HINET_REQUIRE(capture >= 1, "capture threshold must be >= 1");
 }
 
+// detlint: hot-path-begin — the CSR sweep touches every adjacency each round;
+// assign() reuses capacity, so steady-state rounds stay off the heap.
 void CollisionChannel::begin_round(Round, const Graph& g,
                                    std::span<const Packet> packets) {
   // Mark the round's transmitters, then count each receiver's transmitting
@@ -39,6 +44,7 @@ void CollisionChannel::begin_round(Round, const Graph& g,
 bool CollisionChannel::deliver(Round, const Packet&, NodeId receiver) {
   return transmitting_neighbors_[receiver] <= capture_;
 }
+// detlint: hot-path-end
 
 namespace {
 bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
@@ -57,6 +63,8 @@ GilbertElliottChannel::GilbertElliottChannel(
   HINET_REQUIRE(is_probability(params.loss_bad), "loss_bad outside [0,1]");
 }
 
+// detlint: hot-path-begin — n state-chain draws per round plus one bernoulli
+// per delivery; the bad_ buffer allocates once and is reused thereafter.
 void GilbertElliottChannel::begin_round(Round, const Graph& g,
                                         std::span<const Packet>) {
   const std::size_t n = g.node_count();
@@ -77,6 +85,7 @@ bool GilbertElliottChannel::deliver(Round, const Packet&, NodeId receiver) {
       bad_[receiver] != 0 ? params_.loss_bad : params_.loss_good;
   return !loss_rng_.bernoulli(loss);
 }
+// detlint: hot-path-end
 
 bool GilbertElliottChannel::in_bad_state(NodeId v) const {
   return v < bad_.size() && bad_[v] != 0;

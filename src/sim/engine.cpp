@@ -140,6 +140,8 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
     }
   }
 
+  // detlint: hot-path-begin — the per-round loop must not allocate in steady
+  // state; scratch buffers above are reused via clear()/assign().
   for (Round r = 0; r < cfg.max_rounds; ++r) {
     const Graph& g = net_->graph_at(r);
     const HierarchyView& h =
@@ -181,7 +183,8 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
     for (std::size_t v = 0; v < n; ++v) {
       inbox_offsets[v + 1] += inbox_offsets[v];
     }
-    inbox_views.resize(inbox_offsets[n]);
+    // detlint-allow(hot-path-alloc): grows to the high-water inbox total
+    inbox_views.resize(inbox_offsets[n]);  // once, then capacity is reused
     std::copy(inbox_offsets.begin(), inbox_offsets.end() - 1,
               inbox_cursor.begin());
     for (const Packet& pkt : packets) {
@@ -226,6 +229,7 @@ SimMetrics Engine::run(const EngineConfig& cfg) {
       if (cfg.stop_when_complete) break;
     }
   }
+  // detlint: hot-path-end
 
   metrics.all_delivered = complete_nodes == n;
   if (metrics.all_delivered && metrics.rounds_to_completion == kNever) {

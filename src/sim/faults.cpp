@@ -60,7 +60,7 @@ FaultPlan random_churn_plan(std::size_t node_count, std::size_t crash_count,
   for (std::size_t v : victims) {
     CrashEvent c;
     c.node = static_cast<NodeId>(v);
-    c.round = static_cast<Round>(rng.below(horizon));
+    c.round = rng.below(horizon);
     c.recovery = downtime == kNoRecovery ? kNoRecovery : c.round + downtime;
     plan.crashes.push_back(c);
   }

@@ -8,8 +8,9 @@ namespace hinet {
 
 std::uint64_t Rng::below(std::uint64_t bound) {
   HINET_REQUIRE(bound > 0, "below() with zero bound");
-  // Lemire's nearly-divisionless method.
-  using u128 = unsigned __int128;
+  // Lemire's nearly-divisionless method.  __int128 is a GCC/Clang extension,
+  // so the typedef needs __extension__ to stay -Wpedantic-clean.
+  __extension__ typedef unsigned __int128 u128;
   std::uint64_t x = (*this)();
   u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
   auto lo = static_cast<std::uint64_t>(m);
@@ -58,8 +59,7 @@ std::vector<std::size_t> Rng::sample(std::size_t population,
   std::vector<std::size_t> idx(population);
   for (std::size_t i = 0; i < population; ++i) idx[i] = i;
   for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(below(population - i));
+    const std::size_t j = i + below(population - i);
     using std::swap;
     swap(idx[i], idx[j]);
   }

@@ -86,7 +86,7 @@ class Rng {
   void shuffle(std::vector<T>& v) {
     if (v.size() < 2) return;
     for (std::size_t i = v.size() - 1; i > 0; --i) {
-      const std::size_t j = static_cast<std::size_t>(below(i + 1));
+      const std::size_t j = below(i + 1);
       using std::swap;
       swap(v[i], v[j]);
     }

@@ -23,7 +23,7 @@ void TextTable::add_row(std::vector<std::string> cells) {
 std::string TextTable::cell_to_string(double v) {
   std::ostringstream os;
   if (std::fabs(v - std::round(v)) < 1e-9 && std::fabs(v) < 1e15) {
-    os << static_cast<long long>(std::llround(v));
+    os << std::llround(v);
   } else {
     os.precision(3);
     os << std::fixed << v;

@@ -18,6 +18,9 @@ void TokenSet::check_token(TokenId t) const {
   HINET_REQUIRE(t < universe_, "token id outside universe");
 }
 
+// detlint: hot-path-begin — membership tests and the word-wise set ops below
+// run inside every algorithm's transmit/receive; they must stay allocation
+// free (fixed word arrays, popcount loops).
 bool TokenSet::contains(TokenId t) const {
   check_token(t);
   return (words_[t / kBits] >> (t % kBits)) & 1ULL;
@@ -149,6 +152,7 @@ std::optional<TokenId> TokenSet::max_element() const {
   }
   return std::nullopt;
 }
+// detlint: hot-path-end
 
 std::vector<TokenId> TokenSet::to_vector() const {
   std::vector<TokenId> out;

@@ -55,8 +55,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Scenario::kKloInterval, Scenario::kHiNetInterval,
                       Scenario::kHiNetIntervalStable, Scenario::kKloOne,
                       Scenario::kHiNetOne),
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<Scenario>& scenario_info) {
+      switch (scenario_info.param) {
         case Scenario::kKloInterval: return "KloInterval";
         case Scenario::kHiNetInterval: return "HiNetInterval";
         case Scenario::kHiNetIntervalStable: return "HiNetIntervalStable";

@@ -50,7 +50,9 @@ TEST(MaxMinDhop, SinglePathStructure) {
   EXPECT_GE(h.head_count(), 1u);
   // Every non-head is affiliated.
   for (NodeId v = 0; v < 7; ++v) {
-    if (!h.is_head(v)) EXPECT_NE(h.cluster_of(v), kNoCluster);
+    if (!h.is_head(v)) {
+      EXPECT_NE(h.cluster_of(v), kNoCluster);
+    }
   }
 }
 

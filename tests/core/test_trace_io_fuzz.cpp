@@ -35,7 +35,7 @@ TEST_P(TraceIoFuzz, MutatedInputNeverBreaksInvariants) {
     std::string text = base;
     const std::size_t mutations = 1 + rng.below(4);
     for (std::size_t i = 0; i < mutations; ++i) {
-      const std::size_t pos = static_cast<std::size_t>(rng.below(text.size()));
+      const std::size_t pos = rng.below(text.size());
       switch (rng.below(3)) {
         case 0:  // replace
           text[pos] = charset[rng.below(sizeof(charset) - 1)];

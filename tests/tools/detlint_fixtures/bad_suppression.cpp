@@ -1,0 +1,18 @@
+// Fixture: malformed suppressions must surface as bad-directive findings and
+// must NOT silence the underlying rule.  Lint-test data only — never
+// compiled.
+#include <cstdlib>
+
+int fixture_bad_suppressions() {
+  // detlint-allow(banned-random)
+  const int a = std::rand();
+  // detlint-allow(no-such-rule): names a rule that does not exist
+  const int b = std::rand();
+  // detlint-allow banned-random: missing the parenthesised rule name
+  return a + b;
+}
+
+// detlint: hot-path-begin
+// detlint: hot-path-begin
+inline int fixture_nested_region() { return 0; }
+// detlint: hot-path-end

@@ -1,0 +1,26 @@
+// Fixture: allocations inside the declared region must trip hot-path-alloc;
+// the identical calls in the cold function must not.  Lint-test data only —
+// never compiled.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+void fixture_cold_path(std::vector<int>& v) {
+  v.reserve(64);
+  int* raw = new int[4];
+  delete[] raw;
+  v.resize(32);
+}
+
+// detlint: hot-path-begin
+void fixture_hot_path(std::vector<int>& v) {
+  v.resize(128);
+  v.reserve(256);
+  int* raw = static_cast<int*>(std::malloc(16));
+  std::free(raw);
+  auto boxed = std::make_unique<int>(7);
+  int* q = new int(9);
+  delete q;
+  v.push_back(*boxed);  // push_back is sanctioned: amortized into capacity
+}
+// detlint: hot-path-end

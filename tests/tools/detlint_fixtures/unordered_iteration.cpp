@@ -1,0 +1,25 @@
+// Fixture: each marked loop iterates an unordered container and must trip
+// unordered-iteration.  Lint-test data only — never compiled.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, int>;
+
+std::size_t fixture_unordered_iteration() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> seen;
+  Index index;
+  std::size_t total = counts.size() + seen.size() + index.size();
+  for (const auto& [key, value] : counts) {  // hash-order over 'counts'
+    total += static_cast<std::size_t>(value) + key.size();
+  }
+  for (const int v : seen) {  // hash-order over 'seen'
+    total += static_cast<std::size_t>(v);
+  }
+  for (auto it = index.begin(); it != index.end(); ++it) {  // explicit walk
+    total += static_cast<std::size_t>(it->second);
+  }
+  return total;
+}

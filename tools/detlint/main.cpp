@@ -1,0 +1,91 @@
+// detlint CLI.  Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "detlint/linter.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fputs(
+      "usage: detlint [--list-rules] [--exclude SUBSTR]... <path>...\n"
+      "\n"
+      "Statically enforces the project's determinism invariants over the\n"
+      "given files and directories (recursed; .cpp/.cc/.cxx/.hpp/.hh/.h).\n"
+      "\n"
+      "  --list-rules      print the rule catalog and exit\n"
+      "  --exclude SUBSTR  skip paths containing SUBSTR (repeatable)\n"
+      "\n"
+      "Suppress a finding with an auditable comment on the same or the\n"
+      "preceding line (see docs/static_analysis.md for the policy).\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hinet::detlint;
+
+  std::vector<std::string> roots;
+  std::vector<std::string> excludes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog()) {
+        std::printf("%-22s %s\n", std::string(r.name).c_str(),
+                    std::string(r.summary).c_str());
+      }
+      return 0;
+    }
+    if (arg == "--exclude") {
+      if (i + 1 >= argc) {
+        std::fputs("detlint: --exclude needs an argument\n", stderr);
+        return 2;
+      }
+      excludes.emplace_back(argv[++i]);
+      continue;
+    }
+    if (arg.starts_with("--")) {
+      std::fprintf(stderr, "detlint: unknown option '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+
+  const auto files = collect_sources(roots, excludes);
+  if (files.empty()) {
+    std::fputs("detlint: no lintable files under the given paths\n", stderr);
+    return 2;
+  }
+
+  std::size_t finding_count = 0;
+  std::size_t files_with_findings = 0;
+  for (const auto& file : files) {
+    const auto findings = lint_file(file);
+    if (!findings) {
+      std::fprintf(stderr, "detlint: cannot read %s\n",
+                   file.generic_string().c_str());
+      return 2;
+    }
+    if (!findings->empty()) ++files_with_findings;
+    for (const Finding& f : *findings) {
+      std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      ++finding_count;
+    }
+  }
+  std::fprintf(stderr, "detlint: %zu finding%s in %zu of %zu files\n",
+               finding_count, finding_count == 1 ? "" : "s",
+               files_with_findings, files.size());
+  return finding_count == 0 ? 0 : 1;
+}

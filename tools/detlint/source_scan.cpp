@@ -1,0 +1,174 @@
+#include "detlint/source_scan.hpp"
+
+#include <cctype>
+
+namespace hinet::detlint {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+SourceFile scan_source(std::string path, std::string_view text) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State st = State::kCode;
+  std::string code;
+  std::string comment;
+  std::string raw_terminator;  // ")delim\"" that closes the raw string
+  bool escape = false;
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+
+  auto flush_line = [&] {
+    out.lines.push_back(SourceLine{std::move(code), std::move(comment)});
+    code.clear();
+    comment.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      // Line comments end at the newline; an unterminated ordinary string or
+      // character literal is broken source, so fall back to code state rather
+      // than swallowing the rest of the file.  Block comments and raw strings
+      // legitimately span lines.
+      if (st == State::kLineComment || st == State::kString ||
+          st == State::kChar) {
+        st = State::kCode;
+      }
+      escape = false;
+      flush_line();
+      ++i;
+      continue;
+    }
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          st = State::kLineComment;
+          i += 2;
+          continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          st = State::kBlockComment;
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          if (!code.empty() && code.back() == 'R') {
+            // Raw string literal: collect the delimiter up to '('.
+            std::size_t j = i + 1;
+            std::string delim;
+            while (j < n && text[j] != '(' && text[j] != '\n' &&
+                   delim.size() <= 16) {
+              delim.push_back(text[j]);
+              ++j;
+            }
+            if (j < n && text[j] == '(') {
+              raw_terminator = ")" + delim + "\"";
+              st = State::kRawString;
+              code += "\"\"";
+              i = j + 1;
+              continue;
+            }
+          }
+          st = State::kString;
+          code += '"';
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          // Digit separators (1'000'000) are part of the preceding numeric
+          // token, not a character literal.
+          if (!code.empty() && is_word_char(code.back())) {
+            code += c;
+            ++i;
+            continue;
+          }
+          st = State::kChar;
+          code += '\'';
+          ++i;
+          continue;
+        }
+        code += c;
+        ++i;
+        continue;
+      case State::kLineComment:
+        comment += c;
+        ++i;
+        continue;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          st = State::kCode;
+          i += 2;
+          continue;
+        }
+        comment += c;
+        ++i;
+        continue;
+      case State::kString:
+        if (escape) {
+          escape = false;
+          ++i;
+          continue;
+        }
+        if (c == '\\') {
+          escape = true;
+          ++i;
+          continue;
+        }
+        if (c == '"') {
+          st = State::kCode;
+          code += '"';
+          ++i;
+          continue;
+        }
+        ++i;
+        continue;
+      case State::kChar:
+        if (escape) {
+          escape = false;
+          ++i;
+          continue;
+        }
+        if (c == '\\') {
+          escape = true;
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          st = State::kCode;
+          code += '\'';
+          ++i;
+          continue;
+        }
+        ++i;
+        continue;
+      case State::kRawString:
+        if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          st = State::kCode;
+          i += raw_terminator.size();
+          continue;
+        }
+        ++i;
+        continue;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+}  // namespace hinet::detlint

@@ -1,0 +1,31 @@
+// Comment/string-aware source splitter for the determinism linter.
+//
+// Every physical line is split into two channels: the *code* channel (string
+// and character literal contents blanked, comments removed) and the *comment*
+// channel (comment text only).  Rules match against the code channel, so a
+// banned identifier quoted in a string or mentioned in prose never trips a
+// rule; suppression and hot-path directives are parsed from the comment
+// channel, so they survive the scan.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hinet::detlint {
+
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+struct SourceFile {
+  // Generic (forward-slash) path, exactly as handed to the linter.  Path-based
+  // rule exemptions (e.g. bench timers) match against this string.
+  std::string path;
+  std::vector<SourceLine> lines;  // lines[i] is physical line i + 1
+};
+
+SourceFile scan_source(std::string path, std::string_view text);
+
+}  // namespace hinet::detlint
