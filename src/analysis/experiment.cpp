@@ -1,12 +1,29 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 namespace hinet {
+
+ReplicateBatchError::ReplicateBatchError(std::vector<ReplicateFailure> failures)
+    : std::runtime_error(format(failures)), failures_(std::move(failures)) {}
+
+std::string ReplicateBatchError::format(
+    const std::vector<ReplicateFailure>& failures) {
+  std::ostringstream os;
+  os << failures.size() << " replicate(s) failed:";
+  for (const ReplicateFailure& f : failures) {
+    os << "\n  replicate " << f.replicate << " (seed " << f.seed
+       << "): " << f.message;
+  }
+  return os.str();
+}
 
 namespace {
 
@@ -37,43 +54,61 @@ std::vector<ReplicateResult> run_replicates(const SpecFactory& factory,
                                             std::uint64_t base_seed,
                                             std::size_t jobs) {
   HINET_REQUIRE(repetitions >= 1, "need at least one repetition");
+  HINET_REQUIRE(
+      repetitions - 1 <= std::numeric_limits<std::uint64_t>::max() - base_seed,
+      "replicate seed overflow: base_seed + repetitions - 1 wraps past "
+      "2^64, which would alias replicates onto low seeds and correlate "
+      "'independent' repetitions — lower the base seed or the repetition "
+      "count");
   if (jobs == 0) jobs = default_jobs();
   std::vector<ReplicateResult> out(repetitions);
 
-  if (jobs == 1 || repetitions == 1) {
-    for (std::size_t rep = 0; rep < repetitions; ++rep) {
-      out[rep] = run_one(factory, replicate_seed(base_seed, rep));
-    }
-    return out;
-  }
-
-  // Fixed-size pool pulling replicate indices from a shared counter.  Each
-  // replicate writes only its own slot, so no result synchronisation is
-  // needed; the first failure stops the pool and is rethrown after join.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t rep = next.fetch_add(1, std::memory_order_relaxed);
-      if (rep >= repetitions) break;
-      try {
-        out[rep] = run_one(factory, replicate_seed(base_seed, rep));
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
+  // Failures are collected, never fail-fast: every replicate runs, each
+  // writes only its own slot (or failure record), and the batch reports the
+  // full failure list at the end.  One debugging cycle sees every bad seed.
+  std::mutex failure_mutex;
+  std::vector<ReplicateFailure> failures;
+  auto run_slot = [&](std::size_t rep) {
+    const std::uint64_t seed = replicate_seed(base_seed, rep);
+    try {
+      out[rep] = run_one(factory, seed);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      failures.push_back(ReplicateFailure{rep, seed, e.what()});
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      failures.push_back(ReplicateFailure{rep, seed, "unknown exception"});
     }
   };
 
-  const std::size_t width = jobs < repetitions ? jobs : repetitions;
-  std::vector<std::thread> pool;
-  pool.reserve(width);
-  for (std::size_t i = 0; i < width; ++i) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (jobs == 1 || repetitions == 1) {
+    for (std::size_t rep = 0; rep < repetitions; ++rep) run_slot(rep);
+  } else {
+    // Fixed-size pool pulling replicate indices from a shared counter.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        const std::size_t rep = next.fetch_add(1, std::memory_order_relaxed);
+        if (rep >= repetitions) break;
+        run_slot(rep);
+      }
+    };
+    const std::size_t width = jobs < repetitions ? jobs : repetitions;
+    std::vector<std::thread> pool;
+    pool.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (!failures.empty()) {
+    // Failure order depends on thread scheduling; report by replicate index
+    // so the same failing batch always reads the same.
+    std::sort(failures.begin(), failures.end(),
+              [](const ReplicateFailure& a, const ReplicateFailure& b) {
+                return a.replicate < b.replicate;
+              });
+    throw ReplicateBatchError(std::move(failures));
+  }
   return out;
 }
 
@@ -118,7 +153,48 @@ bool AggregateResult::same_statistics(const AggregateResult& other) const {
          completion_fraction == other.completion_fraction &&
          token_coverage == other.token_coverage &&
          delivery_rate == other.delivery_rate &&
-         repetitions == other.repetitions;
+         repetitions == other.repetitions &&
+         failed_replicates == other.failed_replicates;
+}
+
+namespace {
+
+// FNV-1a, 64-bit.  Doubles enter as IEEE-754 bit patterns so the digest is
+// exactly as strict as same_statistics' bitwise comparison.
+void digest_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void digest_f64(std::uint64_t& h, double v) {
+  digest_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+void digest_summary(std::uint64_t& h, const Summary& s) {
+  digest_u64(h, s.n);
+  digest_f64(h, s.mean);
+  digest_f64(h, s.stddev);
+  digest_f64(h, s.min);
+  digest_f64(h, s.max);
+  digest_f64(h, s.p50);
+  digest_f64(h, s.p95);
+}
+
+}  // namespace
+
+std::uint64_t AggregateResult::stats_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  digest_summary(h, rounds_to_completion);
+  digest_summary(h, tokens_sent);
+  digest_summary(h, packets_sent);
+  digest_summary(h, completion_fraction);
+  digest_summary(h, token_coverage);
+  digest_f64(h, delivery_rate);
+  digest_u64(h, repetitions);
+  digest_u64(h, failed_replicates);
+  return h;
 }
 
 std::string AggregateResult::to_string() const {

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/spec.hpp"
@@ -29,11 +31,38 @@ using SpecFactory = std::function<SimulationSpec(std::uint64_t seed)>;
 /// Seed of replicate `rep` in a batch with base seed `base_seed`.  Kept as
 /// plain base + rep (the historical contract "seeds base_seed,
 /// base_seed+1, ..."), centralised here so the serial and parallel paths
-/// cannot drift apart.
+/// cannot drift apart.  Callers validate against wraparound up front
+/// (run_replicates rejects batches whose last seed would overflow);
+/// this function itself stays a total constexpr.
 constexpr std::uint64_t replicate_seed(std::uint64_t base_seed,
                                        std::size_t rep) {
   return base_seed + rep;
 }
+
+/// One failed replicate inside a batch: which one, with which seed, why.
+struct ReplicateFailure {
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
+/// Thrown by run_replicates after the whole batch drained when at least
+/// one replicate failed.  Unlike a bare rethrow of the first exception,
+/// this carries *every* failure — a batch with three bad seeds reports
+/// three seeds, so one debugging cycle sees the full blast radius.
+/// Derives from std::runtime_error so callers that only understand the
+/// old single-error contract still catch it.
+class ReplicateBatchError : public std::runtime_error {
+ public:
+  explicit ReplicateBatchError(std::vector<ReplicateFailure> failures);
+
+  const std::vector<ReplicateFailure>& failures() const { return failures_; }
+
+ private:
+  static std::string format(const std::vector<ReplicateFailure>& failures);
+
+  std::vector<ReplicateFailure> failures_;
+};
 
 /// Worker-pool width used when callers pass jobs == 0: the hardware
 /// concurrency, or 1 when the runtime cannot report it.
@@ -49,8 +78,13 @@ struct ReplicateResult {
 /// 0..reps-1) on up to `jobs` worker threads (0 = default_jobs()).
 /// Results are indexed by replicate, independent of completion order.
 /// Building the spec (trace generation) and running it both happen on the
-/// worker, so the whole per-replicate pipeline parallelises.  The first
-/// exception thrown by any replicate is rethrown after the pool drains.
+/// worker, so the whole per-replicate pipeline parallelises.  A failing
+/// replicate does not stop the batch: every replicate runs, and if any
+/// failed a ReplicateBatchError carrying all of them is thrown after the
+/// pool drains.  Rejects (PreconditionError) a batch whose last seed
+/// base_seed + repetitions - 1 would wrap past 2^64 — silent wraparound
+/// would alias replicate seeds onto low seeds and quietly correlate
+/// "independent" repetitions.
 std::vector<ReplicateResult> run_replicates(const SpecFactory& factory,
                                             std::size_t repetitions,
                                             std::uint64_t base_seed,
@@ -79,12 +113,28 @@ struct AggregateResult {
   double delivery_rate = 0.0;  ///< fraction of repetitions that delivered
   std::size_t repetitions = 0;
 
+  /// Replicates that errored and were excluded from the statistics above
+  /// (supervised runs salvage the rest of the batch instead of discarding
+  /// it).  Part of same_statistics: an aggregate over 98/100 replicates is
+  /// NOT the same result as one over 100/100.
+  std::size_t failed_replicates = 0;
+
+  /// Replicates that succeeded only after one or more supervised retries.
+  /// Execution history, not a statistic: excluded from same_statistics
+  /// like timing (a resumed sweep legitimately retries differently).
+  std::size_t retried_replicates = 0;
+
   // Wall-clock measurement; varies run to run.
   BatchTiming timing;
 
   /// True when the deterministic statistics match exactly (bitwise double
-  /// equality); timing is deliberately ignored.
+  /// equality); timing and retry history are deliberately ignored.
   bool same_statistics(const AggregateResult& other) const;
+
+  /// FNV-1a hash over exactly the fields same_statistics compares — a
+  /// one-line fingerprint for "did the resumed sweep aggregate to the same
+  /// result" checks in CI, stable across processes and platforms.
+  std::uint64_t stats_digest() const;
 
   std::string to_string() const;
 };

@@ -1,0 +1,89 @@
+// Experiment journal: crash-safe record of completed replicates.
+//
+// A sweep that dies — OOM kill, node preemption, ctrl-C — should not cost
+// the replicates it already finished.  The journal is an append-only file
+// of (replicate_seed, ReplicateResult) records; the supervised runner
+// appends each replicate the moment it completes (fsynced, CRC-per-record)
+// and, on restart, skips every seed the journal already holds.  Because
+// replicate statistics are a deterministic function of the seed, a resumed
+// sweep aggregates byte-identically to an uninterrupted one — pinned by
+// tests/analysis/test_journal.cpp and the CI kill-and-resume smoke step.
+//
+// On-disk format (little-endian):
+//
+//   file header : u32 magic 'HJNL' · u16 version · u16 reserved(0)
+//   record      : u32 record magic · u64 payload length · u32 crc32(payload)
+//                 · payload { u64 seed · f64 wall_ms · SimMetrics }
+//
+// Appends are write()-then-fdatasync, so a record either exists completely
+// or not at all as far as a resuming process is concerned.  Opening the
+// journal replays every record; a torn or corrupt *tail* (the expected
+// shape of a crash mid-append) is truncated away and reported via
+// dropped_bytes() — the intact prefix is salvaged, never discarded.
+// Corruption that cannot be the tail of a sane journal (bad file header,
+// wrong version) throws IoError instead: that file is not this journal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace hinet {
+
+class ExperimentJournal {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4c'4e'4a'48u;       // "HJNL"
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::uint32_t kRecordMagic = 0x44'52'4a'48u;  // "HJRD"
+
+  /// Opens (creating if absent) and replays the journal at `path`.
+  /// Throws IoError when the file exists but is not a journal of this
+  /// version, or on I/O failure.  A corrupt tail is truncated and counted
+  /// in dropped_bytes().
+  explicit ExperimentJournal(std::string path);
+  ~ExperimentJournal();
+
+  ExperimentJournal(const ExperimentJournal&) = delete;
+  ExperimentJournal& operator=(const ExperimentJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Number of completed replicates on record.
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  bool contains(std::uint64_t seed) const;
+
+  /// The recorded result for `seed`, if any.
+  std::optional<ReplicateResult> lookup(std::uint64_t seed) const;
+
+  /// Recorded seeds in ascending order (deterministic).
+  std::vector<std::uint64_t> seeds() const;
+
+  /// Durably appends one completed replicate: the record is written and
+  /// fdatasync'd before this returns, so a crash immediately after cannot
+  /// lose it.  Thread-safe.  Re-appending a recorded seed is a
+  /// PreconditionError (the supervised runner checks contains() first).
+  void append(std::uint64_t seed, const ReplicateResult& result);
+
+  /// Bytes of torn/corrupt tail dropped when the journal was opened
+  /// (0 for a cleanly written file).
+  std::size_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  void replay_and_truncate(std::vector<std::uint8_t> raw);
+  void write_all(const std::uint8_t* data, std::size_t len);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  int fd_ = -1;
+  std::map<std::uint64_t, ReplicateResult> entries_;
+  std::size_t dropped_bytes_ = 0;
+};
+
+}  // namespace hinet

@@ -1,9 +1,34 @@
 #include "sim/channel.hpp"
 
+#include <array>
+
 namespace hinet {
 
 void ChannelModel::begin_round(Round, const Graph&, std::span<const Packet>) {
 }
+
+void ChannelModel::save_state(ByteWriter&) const {}
+
+void ChannelModel::restore_state(ByteReader&) {}
+
+namespace {
+
+// Rng state words as a fixed 32-byte section.
+void save_rng(ByteWriter& w, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) w.u64(word);
+}
+
+void restore_rng(ByteReader& r, Rng& rng) {
+  std::array<std::uint64_t, 4> s{};
+  for (auto& word : s) word = r.u64();
+  rng.set_state(s);
+}
+
+}  // namespace
+
+void LossyChannel::save_state(ByteWriter& w) const { save_rng(w, rng_); }
+
+void LossyChannel::restore_state(ByteReader& r) { restore_rng(r, rng_); }
 
 LossyChannel::LossyChannel(double loss, std::uint64_t seed)
     : loss_(loss), rng_(seed) {
@@ -89,6 +114,21 @@ bool GilbertElliottChannel::deliver(Round, const Packet&, NodeId receiver) {
 
 bool GilbertElliottChannel::in_bad_state(NodeId v) const {
   return v < bad_.size() && bad_[v] != 0;
+}
+
+void GilbertElliottChannel::save_state(ByteWriter& w) const {
+  save_rng(w, state_rng_);
+  save_rng(w, loss_rng_);
+  w.u64(bad_.size());
+  for (char b : bad_) w.u8(static_cast<std::uint8_t>(b));
+}
+
+void GilbertElliottChannel::restore_state(ByteReader& r) {
+  restore_rng(r, state_rng_);
+  restore_rng(r, loss_rng_);
+  const std::uint64_t n = r.u64();
+  bad_.resize(static_cast<std::size_t>(n));
+  for (auto& b : bad_) b = static_cast<char>(r.u8());
 }
 
 }  // namespace hinet

@@ -28,6 +28,15 @@
 // cursors / view lists) is hoisted out of the round loop and reused, so a
 // steady-state round performs no heap allocation inside the engine.
 //
+// Execution is round-granular: run() is start() + step()-until-done +
+// finish(), and the three stages are public so callers can pause between
+// rounds.  At any round boundary snapshot() serializes the complete run
+// state (round counter, partial metrics, per-process state, channel RNG /
+// Markov state) into a versioned, CRC-guarded SimSnapshot; restore()
+// re-attaches that state to a freshly built identical spec, and the
+// resumed run finishes with byte-identical SimMetrics to an uninterrupted
+// one (pinned by tests/sim/test_snapshot.cpp for every scenario×channel).
+//
 // Two ownership modes:
 //   - spec-owning (preferred): Engine(SimulationSpec) takes the whole run
 //     — network, hierarchy, channel, processes, config — so the engine's
@@ -37,15 +46,25 @@
 //     trace after the run.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <vector>
 
 #include "cluster/hierarchy.hpp"
 #include "graph/dynamic.hpp"
 #include "sim/channel.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/spec.hpp"
 
 namespace hinet {
+
+/// Thrown by step() when EngineConfig::deadline_ms elapses before the run
+/// finishes.  The run is abandoned, never resumed: a deadline is a
+/// supervision boundary, not a pause (use snapshot() for pausing).
+class DeadlineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Observer invoked after each round with a view of that round's packets
 /// (valid only during the call); used by trace recording and the
@@ -64,13 +83,46 @@ class Engine {
   Engine(DynamicNetwork& net, HierarchyProvider* hierarchy,
          std::vector<ProcessPtr> processes);
 
-  /// Runs the simulation.  Single-shot: a second call on the same engine
-  /// is a hard PreconditionError (processes hold consumed per-run state,
-  /// so re-running would silently measure garbage).
+  /// Runs the simulation: start(cfg), step() until done, finish().
+  /// Single-shot: a second run on the same engine is a hard
+  /// PreconditionError (processes hold consumed per-run state, so
+  /// re-running would silently measure garbage).
   SimMetrics run(const EngineConfig& cfg);
 
   /// Spec-owning mode only: runs with the owned spec's engine config.
   SimMetrics run();
+
+  // Round-granular execution, for callers that pause, checkpoint, or
+  // interleave with other work.  Exactly one of start()/restore() begins a
+  // run; step() executes one round; finish() seals the metrics.
+
+  /// Begins a run.  PreconditionError if a run already started.
+  void start(const EngineConfig& cfg);
+
+  /// Executes one round.  Returns true while more rounds remain (schedule
+  /// not exhausted and, with stop_when_complete, dissemination not yet
+  /// complete).  Throws DeadlineError when the config's wall-clock budget
+  /// is exhausted.
+  bool step();
+
+  /// Finalizes and returns the run's metrics; the engine is spent after.
+  SimMetrics finish();
+
+  /// Serializes the full run state at the current round boundary.  Valid
+  /// between start()/restore() and finish().  Requires every process (and
+  /// the channel, if stateful) to implement the checkpoint hooks.
+  SimSnapshot snapshot() const;
+
+  /// Begins a run by re-attaching snapshotted state to this engine, which
+  /// must be freshly built from a spec identical to the one the snapshot
+  /// was taken from (same factory, same seed).  The engine config is
+  /// restored from the snapshot.  Throws IoError when the payload is
+  /// corrupt or belongs to a structurally different run (node count,
+  /// channel presence, per-process state shape).
+  void restore(const SimSnapshot& snap);
+
+  /// Round index of the next round step() would execute.
+  Round current_round() const { return round_; }
 
   void set_observer(RoundObserver obs) { observer_ = std::move(obs); }
 
@@ -83,6 +135,11 @@ class Engine {
 
  private:
   void validate() const;
+  void init_run_buffers();
+
+  /// Arms (or disarms) the wall-clock budget from cfg_.deadline_ms,
+  /// saturating un-representable budgets to "no deadline".
+  void arm_deadline();
 
   // Owned storage (spec-owning mode only; empty when borrowing).
   std::unique_ptr<DynamicNetwork> owned_network_;
@@ -97,7 +154,30 @@ class Engine {
   std::vector<ProcessPtr> processes_;
   RoundObserver observer_;
   ChannelModel* channel_ = nullptr;
-  bool ran_ = false;
+
+  // Run state, valid between start()/restore() and finish().  Everything
+  // here (except the reusable scratch and the wall-clock deadline) is what
+  // snapshot() captures.
+  bool started_ = false;
+  bool finished_ = false;
+  EngineConfig cfg_;
+  Round round_ = 0;
+  SimMetrics metrics_;
+  std::vector<char> complete_;
+  std::size_t complete_nodes_ = 0;
+  // Supervision deadline: over-budget runs throw, they never degrade, so
+  // results stay a pure function of (spec, seed).
+  // detlint-allow(banned-time): deadline only gates abort, never results
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+
+  // Per-round scratch, allocated once per run and reused (clear()/assign()
+  // keep capacity): steady-state rounds perform no heap allocation here.
+  std::vector<Packet> packets_;
+  std::vector<std::size_t> packet_costs_;
+  std::vector<std::uint32_t> inbox_offsets_;
+  std::vector<std::uint32_t> inbox_cursor_;
+  std::vector<PacketView> inbox_views_;
 };
 
 }  // namespace hinet

@@ -1,0 +1,81 @@
+#include "sim/snapshot.hpp"
+
+#include <sstream>
+
+namespace hinet {
+
+void save_snapshot_file(const SimSnapshot& snap, const std::string& path) {
+  write_checksummed_file(path, SimSnapshot::kMagic, SimSnapshot::kVersion,
+                         snap.payload);
+}
+
+SimSnapshot load_snapshot_file(const std::string& path) {
+  SimSnapshot snap;
+  snap.payload = read_checksummed_file(path, SimSnapshot::kMagic,
+                                       SimSnapshot::kVersion, "snapshot");
+  return snap;
+}
+
+void save_token_set(ByteWriter& w, const TokenSet& s) {
+  w.u64(s.universe());
+  const auto words = s.words();
+  w.u64(words.size());
+  for (std::uint64_t word : words) w.u64(word);
+}
+
+TokenSet load_token_set(ByteReader& r, std::size_t expected_universe) {
+  const std::uint64_t universe = r.u64();
+  if (universe != expected_universe) {
+    std::ostringstream os;
+    os << r.what() << " corrupt or mismatched: stored TokenSet universe "
+       << universe << " differs from the run's universe " << expected_universe
+       << " — the snapshot belongs to a differently-parameterised spec";
+    throw IoError(os.str());
+  }
+  const std::uint64_t word_count = r.u64();
+  const std::size_t expect_words = (expected_universe + 63) / 64;
+  if (word_count != expect_words) {
+    std::ostringstream os;
+    os << r.what() << " corrupt: TokenSet of universe " << universe
+       << " stores " << word_count << " word(s), expected " << expect_words;
+    throw IoError(os.str());
+  }
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(word_count));
+  for (auto& word : words) word = r.u64();
+  return TokenSet::from_words(static_cast<std::size_t>(universe),
+                              std::move(words));
+}
+
+void save_metrics(ByteWriter& w, const SimMetrics& m) {
+  w.u64(m.rounds_executed);
+  w.u64(m.packets_sent);
+  w.u64(m.tokens_sent);
+  w.u64(m.rounds_to_completion);
+  w.u8(m.all_delivered ? 1 : 0);
+  w.vec_size(m.tokens_sent_per_round);
+  w.vec_size(m.complete_nodes_per_round);
+  w.vec_size(m.per_node_tx_tokens);
+  w.vec_size(m.per_node_rx_tokens);
+  w.u64(m.token_universe);
+  w.u64(m.complete_nodes_final);
+  w.vec_size(m.per_node_tokens_known);
+}
+
+SimMetrics load_metrics(ByteReader& r) {
+  SimMetrics m;
+  m.rounds_executed = r.u64();
+  m.packets_sent = r.u64();
+  m.tokens_sent = r.u64();
+  m.rounds_to_completion = r.u64();
+  m.all_delivered = r.u8() != 0;
+  m.tokens_sent_per_round = r.vec_size();
+  m.complete_nodes_per_round = r.vec_size();
+  m.per_node_tx_tokens = r.vec_size();
+  m.per_node_rx_tokens = r.vec_size();
+  m.token_universe = r.u64();
+  m.complete_nodes_final = r.u64();
+  m.per_node_tokens_known = r.vec_size();
+  return m;
+}
+
+}  // namespace hinet

@@ -31,6 +31,15 @@ struct EngineConfig {
   /// measures the algorithm's *scheduled* cost rather than its oracle
   /// stopping time.
   bool stop_when_complete = true;
+
+  /// Wall-clock budget for the whole run, in milliseconds; 0 = unlimited.
+  /// Checked once per round: an over-budget run throws DeadlineError (see
+  /// sim/engine.hpp) instead of occupying its worker forever — the
+  /// supervised experiment runner uses this to bound stuck replicates.
+  /// The budget never influences simulation results (a run either finishes
+  /// with its deterministic metrics or throws); resuming from a snapshot
+  /// restarts the budget.
+  std::size_t deadline_ms = 0;
 };
 
 struct SimulationSpec {

@@ -1,0 +1,285 @@
+#include "util/binary_io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace hinet {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::blob(std::span<const std::uint8_t> data) {
+  u64(data.size());
+  bytes(data);
+}
+
+void ByteWriter::vec_u64(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+void ByteWriter::vec_size(const std::vector<std::size_t>& v) {
+  u64(v.size());
+  for (std::size_t x : v) u64(x);
+}
+
+void ByteWriter::vec_u8(const std::vector<std::uint8_t>& v) {
+  u64(v.size());
+  bytes(v);
+}
+
+ByteReader::ByteReader(std::span<const std::uint8_t> data, std::string what)
+    : data_(data), what_(std::move(what)) {}
+
+void ByteReader::need(std::size_t n) const {
+  if (n > remaining()) {
+    std::ostringstream os;
+    os << what_ << " truncated: need " << n << " more byte(s) at offset "
+       << pos_ << " but only " << remaining() << " remain";
+    throw IoError(os.str());
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v |
+                                   static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(i)])
+                                       << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  need(n);
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> ByteReader::blob() {
+  const std::uint64_t len = u64();
+  // The length itself came from (possibly corrupt) input: bound it against
+  // what is actually present before any allocation or subspan.
+  if (len > remaining()) {
+    std::ostringstream os;
+    os << what_ << " corrupt: blob declares " << len << " byte(s) at offset "
+       << pos_ << " but only " << remaining() << " remain";
+    throw IoError(os.str());
+  }
+  return bytes(static_cast<std::size_t>(len));
+}
+
+std::vector<std::uint64_t> ByteReader::vec_u64() {
+  const std::uint64_t len = u64();
+  if (len > remaining() / 8) {
+    std::ostringstream os;
+    os << what_ << " corrupt: vector declares " << len
+       << " element(s) at offset " << pos_ << " but only " << remaining()
+       << " byte(s) remain";
+    throw IoError(os.str());
+  }
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(len));
+  for (auto& x : out) x = u64();
+  return out;
+}
+
+std::vector<std::size_t> ByteReader::vec_size() {
+  const std::vector<std::uint64_t> raw = vec_u64();
+  std::vector<std::size_t> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = static_cast<std::size_t>(raw[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ByteReader::vec_u8() {
+  const auto data = blob();
+  return {data.begin(), data.end()};
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) {
+    std::ostringstream os;
+    os << what_ << " corrupt: " << remaining()
+       << " unexpected trailing byte(s) after offset " << pos_
+       << " (state decoded by a reader of the wrong type?)";
+    throw IoError(os.str());
+  }
+}
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 2 + 8 + 4;  // magic·version·len·crc
+
+}  // namespace
+
+void write_checksummed_file(const std::string& path, std::uint32_t magic,
+                            std::uint16_t version,
+                            std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  header.u32(magic);
+  header.u16(version);
+  header.u64(payload.size());
+  header.u32(crc32(payload));
+
+  // Write-then-rename: `path` only ever names a complete, checksummed file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw IoError("cannot open " + tmp + " for writing");
+  const bool ok =
+      std::fwrite(header.buffer().data(), 1, header.size(), f) ==
+          header.size() &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), 1, payload.size(), f) == payload.size()) &&
+      std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    throw IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_checksummed_file(const std::string& path,
+                                                std::uint32_t magic,
+                                                std::uint16_t expect_version,
+                                                const std::string& what) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open " + what + " file " + path);
+  std::vector<std::uint8_t> raw;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    raw.insert(raw.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw IoError("read error on " + what + " file " + path);
+
+  ByteReader header(raw, what + " header (" + path + ")");
+  if (raw.size() < kHeaderBytes) {
+    std::ostringstream os;
+    os << what << " file " << path << " truncated: " << raw.size()
+       << " byte(s) is shorter than the " << kHeaderBytes << "-byte header";
+    throw IoError(os.str());
+  }
+  const std::uint32_t got_magic = header.u32();
+  if (got_magic != magic) {
+    std::ostringstream os;
+    os << what << " file " << path << " has wrong magic 0x" << std::hex
+       << got_magic << " (expected 0x" << magic
+       << ") — not a " << what << " file, or the header is corrupt";
+    throw IoError(os.str());
+  }
+  const std::uint16_t got_version = header.u16();
+  if (got_version != expect_version) {
+    std::ostringstream os;
+    os << what << " file " << path << " has format version " << got_version
+       << " but this build reads version " << expect_version
+       << " — regenerate the file with the matching build";
+    throw IoError(os.str());
+  }
+  const std::uint64_t len = header.u64();
+  const std::uint32_t stored_crc = header.u32();
+  if (len != raw.size() - kHeaderBytes) {
+    std::ostringstream os;
+    os << what << " file " << path << " truncated or padded: header declares "
+       << len << " payload byte(s) but the file carries "
+       << raw.size() - kHeaderBytes;
+    throw IoError(os.str());
+  }
+  std::vector<std::uint8_t> payload(raw.begin() + kHeaderBytes, raw.end());
+  const std::uint32_t computed = crc32(payload);
+  if (computed != stored_crc) {
+    std::ostringstream os;
+    os << what << " file " << path << " failed its integrity check: stored "
+       << "CRC 0x" << std::hex << stored_crc << ", computed 0x" << computed
+       << " — the payload is corrupt";
+    throw IoError(os.str());
+  }
+  return payload;
+}
+
+}  // namespace hinet

@@ -1,0 +1,132 @@
+// Checksummed binary serialization primitives.
+//
+// The crash-safety layer (engine snapshots, the experiment journal) stores
+// binary state on disk, where torn writes, truncation and bit rot are facts
+// of life.  Everything here is therefore defensive by construction:
+//
+//   ByteWriter — append-only little-endian encoder into a growable buffer;
+//   ByteReader — bounds-checked decoder over a byte span: every read
+//                validates remaining length first and throws IoError on
+//                truncation, so corrupt input can never walk past the end
+//                of a buffer (the fuzz suite flips and truncates bytes at
+//                every offset and expects a diagnostic, never UB);
+//   crc32      — CRC-32 (IEEE 802.3) over a byte span;
+//   write_checksummed_file / read_checksummed_file — a tiny container
+//                format (magic, version, payload length, CRC, payload)
+//                shared by every binary artifact so corruption checks and
+//                error messages are implemented exactly once.
+//
+// Fixed-width little-endian encoding keeps files byte-identical across
+// platforms; std::size_t values travel as u64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hinet {
+
+/// Thrown on any I/O or (de)serialization failure: truncated input, CRC
+/// mismatch, unknown magic, unsupported version, failed syscalls.  The
+/// message always names what was expected and what was found.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, starting from
+/// `seed` (pass a previous result to checksum incrementally).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/// Little-endian append-only encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern, so values round-trip
+  /// bit-for-bit (the aggregate-identity guarantee needs exactness).
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Length-prefixed byte blob (u64 length + raw bytes); the framing lets
+  /// readers skip or bound a section they cannot interpret.
+  void blob(std::span<const std::uint8_t> data);
+
+  /// u64 length followed by each element as u64.
+  void vec_u64(const std::vector<std::uint64_t>& v);
+  void vec_size(const std::vector<std::size_t>& v);
+  /// u64 length followed by raw bytes (for flag vectors).
+  void vec_u8(const std::vector<std::uint8_t>& v);
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::uint8_t> buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span.
+class ByteReader {
+ public:
+  /// `what` names the artifact being decoded; it prefixes every error
+  /// message ("snapshot payload truncated: ...").
+  explicit ByteReader(std::span<const std::uint8_t> data,
+                      std::string what = "payload");
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::span<const std::uint8_t> bytes(std::size_t n);
+
+  /// Reads a blob written by ByteWriter::blob.
+  std::span<const std::uint8_t> blob();
+
+  std::vector<std::uint64_t> vec_u64();
+  std::vector<std::size_t> vec_size();
+  std::vector<std::uint8_t> vec_u8();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  const std::string& what() const { return what_; }
+
+  /// Throws IoError unless every byte has been consumed — catches blobs
+  /// decoded by a reader of the wrong type (too-short state is caught by
+  /// the bounds checks; this catches too-long).
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::string what_;
+};
+
+/// Writes `payload` to `path` inside the shared container format:
+///
+///   u32 magic · u16 version · u64 payload length · u32 crc32(payload) ·
+///   payload bytes
+///
+/// The file is written to a temporary sibling and renamed into place, so a
+/// crash mid-write can never leave a half-written artifact under `path`.
+void write_checksummed_file(const std::string& path, std::uint32_t magic,
+                            std::uint16_t version,
+                            std::span<const std::uint8_t> payload);
+
+/// Reads a container written by write_checksummed_file, validating magic,
+/// version, declared length against the file size, and the payload CRC.
+/// Throws IoError naming the artifact (`what`) and the precise mismatch.
+std::vector<std::uint8_t> read_checksummed_file(const std::string& path,
+                                                std::uint32_t magic,
+                                                std::uint16_t expect_version,
+                                                const std::string& what);
+
+}  // namespace hinet

@@ -8,6 +8,7 @@
 // platform.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -107,6 +108,17 @@ class Rng {
   /// (topology, clustering, churn, ...) its own stream so adding draws to
   /// one subsystem does not perturb another.
   Rng fork();
+
+  /// The four raw Xoshiro256** state words, for checkpointing: a generator
+  /// restored via set_state continues the exact draw sequence of the
+  /// original, which is what makes engine snapshot/resume byte-identical.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,139 @@
+// Checkpoint/resume under active fault injection (the hostile variant of
+// tests/sim/test_snapshot.cpp's matrix): a scenario wrapped in a
+// FaultyNetwork running random crash/recovery churn, with Gilbert–Elliott
+// burst loss on top, snapshotted mid-run — including inside crash windows
+// — and resumed into a freshly built identical spec.  The resumed metrics
+// must equal the uninterrupted golden run exactly: fault edits are a pure
+// function of (plan, round) and the channel's chain/loss streams travel in
+// the snapshot, so crash-safety must not cost a single bit of determinism
+// even while the topology is being actively damaged.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "analysis/scenarios.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/snapshot.hpp"
+
+namespace hinet {
+namespace {
+
+ScenarioConfig faulty_config() {
+  ScenarioConfig cfg;
+  cfg.nodes = 24;
+  cfg.heads = 6;
+  cfg.k = 4;
+  cfg.alpha = 2;
+  cfg.hop_l = 2;
+  return cfg;
+}
+
+/// Scenario spec with churn faults layered on the trace and burst loss on
+/// the medium.  Pure function of (scenario, seed): two calls build
+/// byte-identical runs, which is exactly what resume relies on.
+SimulationSpec build_faulty_spec(Scenario s, std::uint64_t seed) {
+  const ScenarioConfig cfg = faulty_config();
+  SimulationSpec spec = scenario_factory(s, cfg)(seed);
+  const std::size_t horizon = spec.engine.max_rounds;
+  FaultPlan plan = random_churn_plan(cfg.nodes, /*crash_count=*/4, horizon,
+                                     /*downtime=*/3, seed ^ 0xfa71edull);
+  spec.network =
+      std::make_unique<FaultyNetwork>(std::move(spec.network), std::move(plan));
+  spec.channel = std::make_unique<GilbertElliottChannel>(
+      GilbertElliottParams{}, seed ^ 0xbad'cafeull);
+  return spec;
+}
+
+SimMetrics resume_at(Scenario s, std::uint64_t seed, std::size_t steps) {
+  SimulationSpec spec = build_faulty_spec(s, seed);
+  const EngineConfig cfg = spec.engine;
+  Engine first(std::move(spec));
+  first.start(cfg);
+  for (std::size_t i = 0; i < steps; ++i) {
+    if (!first.step()) break;
+  }
+  const SimSnapshot snap = first.snapshot();
+
+  Engine second(build_faulty_spec(s, seed));
+  second.restore(snap);
+  while (second.step()) {
+  }
+  return second.finish();
+}
+
+class SnapshotUnderFaults : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(SnapshotUnderFaults, MidRunResumeMatchesUninterruptedGolden) {
+  const Scenario s = GetParam();
+  const std::uint64_t seed = 29;
+
+  Engine golden_engine(build_faulty_spec(s, seed));
+  const SimMetrics golden = golden_engine.run();
+  ASSERT_GE(golden.rounds_executed, 4u);
+
+  // Early, middle and late boundaries; churn windows from the plan overlap
+  // at least one of these for any non-degenerate horizon.
+  const std::size_t splits[] = {1, golden.rounds_executed / 2,
+                                golden.rounds_executed - 1};
+  for (const std::size_t r : splits) {
+    SCOPED_TRACE("resume at round " + std::to_string(r));
+    EXPECT_EQ(resume_at(s, seed, r), golden);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SnapshotUnderFaults,
+                         ::testing::Values(Scenario::kHiNetInterval,
+                                           Scenario::kHiNetOne,
+                                           Scenario::kKloInterval),
+                         [](const auto& p) {
+                           switch (p.param) {
+                             case Scenario::kHiNetInterval:
+                               return std::string("HiNetInterval");
+                             case Scenario::kHiNetOne:
+                               return std::string("HiNetOne");
+                             default:
+                               return std::string("KloInterval");
+                           }
+                         });
+
+TEST(SnapshotUnderFaultsDetail, SnapshotInsideACrashWindowResumesExactly) {
+  // Pin the interesting instant explicitly: a plan whose crash window is
+  // known, and a snapshot taken strictly inside it.
+  const std::uint64_t seed = 7;
+  const ScenarioConfig cfg = faulty_config();
+  const auto build = [&] {
+    SimulationSpec spec =
+        scenario_factory(Scenario::kHiNetOne, cfg)(seed);
+    FaultPlan plan;
+    plan.crashes.push_back({/*node=*/2, /*start=*/2, /*recovery=*/8});
+    plan.crashes.push_back({/*node=*/5, /*start=*/4, /*recovery=*/kNoRecovery});
+    spec.network = std::make_unique<FaultyNetwork>(std::move(spec.network),
+                                                   std::move(plan));
+    spec.channel = std::make_unique<GilbertElliottChannel>(
+        GilbertElliottParams{}, seed);
+    return spec;
+  };
+
+  Engine golden_engine(build());
+  const SimMetrics golden = golden_engine.run();
+  ASSERT_GT(golden.rounds_executed, 5u);
+
+  SimulationSpec spec = build();
+  const EngineConfig ecfg = spec.engine;
+  Engine first(std::move(spec));
+  first.start(ecfg);
+  for (int i = 0; i < 5; ++i) first.step();  // round 5: node 2 down, 5 down
+  const SimSnapshot snap = first.snapshot();
+
+  Engine second(build());
+  second.restore(snap);
+  while (second.step()) {
+  }
+  EXPECT_EQ(second.finish(), golden);
+}
+
+}  // namespace
+}  // namespace hinet
