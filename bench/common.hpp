@@ -33,8 +33,10 @@ inline MeasuredRow measure_scenario(Scenario s, const ScenarioConfig& cfg,
   const ScenarioRun probe = make_scenario(s, cfg, seed);
   row.time_sched = probe.scheduled_rounds;
   row.analytic = probe.analytic;
-  const AggregateResult agg =
-      run_experiment_parallel(scenario_factory(s, cfg), reps, seed, jobs);
+  const ExecutionPolicy policy =
+      jobs <= 1 ? ExecutionPolicy::serial() : ExecutionPolicy::threaded(jobs);
+  const AggregateResult agg = run_experiment(
+      scenario_factory(s, cfg), ExperimentOptions{reps, seed, policy});
   row.time_mean = agg.rounds_to_completion.mean;
   row.comm_mean = agg.tokens_sent.mean;
   row.delivery = agg.delivery_rate;

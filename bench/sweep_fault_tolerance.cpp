@@ -206,8 +206,10 @@ int main(int argc, char** argv) {
         cells.push_back({Algo::kKloFlood, 0, 0, crash, burst});
         cells.push_back({Algo::kGossip, 0, 0, crash, burst});
         for (const Cell& cell : cells) {
-          Row row{cell, run_experiment_parallel(cell_factory(cell, w), reps,
-                                                1, jobs)};
+          Row row{cell, run_experiment(
+                            cell_factory(cell, w),
+                            ExperimentOptions{
+                                reps, 1, ExecutionPolicy::threaded(jobs)})};
           t.add(crash, burst.name, variant_label(cell),
                 row.agg.delivery_rate * 100.0,
                 row.agg.completion_fraction.mean, row.agg.token_coverage.mean,

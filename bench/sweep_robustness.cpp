@@ -66,8 +66,9 @@ SpecFactory cell_factory(bool hinet, double loss, std::size_t nodes,
 Outcome run_cells(bool hinet, double loss, std::size_t reps,
                   std::size_t nodes, std::size_t k, std::size_t slack,
                   std::size_t jobs) {
-  const AggregateResult agg = run_experiment_parallel(
-      cell_factory(hinet, loss, nodes, k, slack), reps, 0, jobs);
+  const AggregateResult agg = run_experiment(
+      cell_factory(hinet, loss, nodes, k, slack),
+      ExperimentOptions{reps, 0, ExecutionPolicy::threaded(jobs)});
   Outcome o;
   o.delivery = agg.delivery_rate;
   o.rounds_mean = agg.rounds_to_completion.mean;

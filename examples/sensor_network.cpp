@@ -56,18 +56,18 @@ int main(int argc, char** argv) try {
     // optimisation disabled — i.e. the kHiNetInterval scenario with
     // head_churn left at zero (the generator default), which already
     // yields a constant head set.
-    const AggregateResult agg = run_experiment_parallel(
-        scenario_factory(Scenario::kHiNetInterval, stable_cfg), reps, seed,
-        jobs);
+    const AggregateResult agg = run_experiment(
+        scenario_factory(Scenario::kHiNetInterval, stable_cfg),
+        ExperimentOptions{reps, seed, ExecutionPolicy::threaded(jobs)});
     plain_tokens = agg.tokens_sent.mean;
     t.add("Algorithm 1 (members re-upload on churn)",
           agg.delivery_rate * 100.0, agg.rounds_to_completion.mean,
           agg.tokens_sent.mean);
   }
   {
-    const AggregateResult agg = run_experiment_parallel(
-        scenario_factory(Scenario::kHiNetIntervalStable, stable_cfg), reps,
-        seed, jobs);
+    const AggregateResult agg = run_experiment(
+        scenario_factory(Scenario::kHiNetIntervalStable, stable_cfg),
+        ExperimentOptions{reps, seed, ExecutionPolicy::threaded(jobs)});
     stable_tokens = agg.tokens_sent.mean;
     t.add("Remark 1 (upload once, never re-send)", agg.delivery_rate * 100.0,
           agg.rounds_to_completion.mean, agg.tokens_sent.mean);

@@ -2,18 +2,49 @@
 //
 // A SpecFactory builds everything one repetition needs — trace, hierarchy,
 // channel, processes, engine config — as a self-owning SimulationSpec from
-// a seed; run_experiment / run_experiment_parallel execute `repetitions`
-// of them with derived seeds and summarise.  All benches and sweep figures
+// a seed; run_experiment executes `repetitions` of them with derived seeds
+// under an ExecutionPolicy and summarises.  All benches and sweep figures
 // go through this path so their statistics are computed identically.
 //
-// Parallel execution contract: because every spec owns its whole run,
-// replicates share no mutable state and can execute on a fixed-size worker
-// pool.  Seeds are derived per replicate *index* (replicate_seed), results
-// are stored by index and aggregated in index order, so a parallel batch
-// produces byte-identical statistics to the serial path regardless of
-// completion order.  The factory itself must be safe to invoke from
-// multiple threads concurrently (a pure function of the seed, or
-// internally synchronised).
+// ## ExecutionPolicy semantics
+//
+// The policy chooses HOW replicates execute, never WHAT they compute: for
+// a fixed (factory, repetitions, base_seed), every policy produces
+// byte-identical deterministic statistics (same_statistics / stats_digest)
+// because replicate seeds derive from the replicate *index*
+// (replicate_seed), results are stored by index, and aggregation runs in
+// index order regardless of scheduling.
+//
+//   Serial           — one replicate after another on the calling thread.
+//                      The reference path.
+//   Threaded{jobs}   — a fixed worker pool of `jobs` threads (0 =
+//                      default_jobs()); each worker builds and runs whole
+//                      replicates.  Wins when hardware threads are free.
+//   Batched{R}       — lockstep batches of R replicates on the calling
+//                      thread via BatchEngine (sim/batch_engine.hpp):
+//                      consecutive index ranges [0,R), [R,2R), ... advance
+//                      round by round together, sharing one inbox scratch
+//                      and making one channel begin_round_batch call per
+//                      lockstep round.  Wins on cache locality and
+//                      per-round overhead amortisation when no extra
+//                      hardware threads exist (the 1-core CI box).
+//   ThreadedBatched  — the worker pool pulls whole lockstep batches:
+//     {jobs, R}        jobs × Batched{R}.  The multi-core sweep
+//                      configuration.
+//
+// Per-replicate wall_ms under the batched policies is the batch wall time
+// divided by the batch's replicate count (lockstep interleaves rounds, so
+// a single replicate's wall time is not individually observable).  Timing
+// is excluded from same_statistics either way.
+//
+// Batched deadline semantics: a lockstep batch shares one wall budget (the
+// max EngineConfig::deadline_ms across its specs); on expiry every
+// replicate still unfinished in that batch fails with DeadlineError.
+//
+// The parallel execution contract is unchanged: every spec owns its whole
+// run, so replicates share no mutable state; the factory must be safe to
+// invoke from multiple threads concurrently (a pure function of the seed,
+// or internally synchronised).
 #pragma once
 
 #include <functional>
@@ -30,14 +61,65 @@ using SpecFactory = std::function<SimulationSpec(std::uint64_t seed)>;
 
 /// Seed of replicate `rep` in a batch with base seed `base_seed`.  Kept as
 /// plain base + rep (the historical contract "seeds base_seed,
-/// base_seed+1, ..."), centralised here so the serial and parallel paths
-/// cannot drift apart.  Callers validate against wraparound up front
+/// base_seed+1, ..."), centralised here so the execution policies cannot
+/// drift apart.  Callers validate against wraparound up front
 /// (run_replicates rejects batches whose last seed would overflow);
 /// this function itself stays a total constexpr.
 constexpr std::uint64_t replicate_seed(std::uint64_t base_seed,
                                        std::size_t rep) {
   return base_seed + rep;
 }
+
+/// How an experiment's replicates execute.  See the policy semantics at
+/// the top of this header; every mode produces byte-identical statistics.
+struct ExecutionPolicy {
+  enum class Mode {
+    kSerial,           ///< calling thread, one replicate at a time
+    kThreaded,         ///< worker pool, whole replicates
+    kBatched,          ///< calling thread, lockstep batches of R
+    kThreadedBatched,  ///< worker pool, lockstep batches of R
+  };
+
+  Mode mode = Mode::kSerial;
+
+  /// Worker-pool width for the threaded modes; 0 = default_jobs().
+  std::size_t jobs = 0;
+
+  /// Lockstep batch width R for the batched modes.
+  std::size_t replicates_per_batch = 8;
+
+  static ExecutionPolicy serial() { return {}; }
+  static ExecutionPolicy threaded(std::size_t jobs = 0) {
+    return {Mode::kThreaded, jobs, 8};
+  }
+  static ExecutionPolicy batched(std::size_t replicates_per_batch = 8) {
+    return {Mode::kBatched, 0, replicates_per_batch};
+  }
+  static ExecutionPolicy threaded_batched(
+      std::size_t jobs = 0, std::size_t replicates_per_batch = 8) {
+    return {Mode::kThreadedBatched, jobs, replicates_per_batch};
+  }
+
+  bool is_batched() const {
+    return mode == Mode::kBatched || mode == Mode::kThreadedBatched;
+  }
+  bool is_threaded() const {
+    return mode == Mode::kThreaded || mode == Mode::kThreadedBatched;
+  }
+
+  /// Worker-pool width this policy actually uses (1 for the serial
+  /// modes, jobs resolved through default_jobs() otherwise).
+  std::size_t effective_jobs() const;
+};
+
+const char* to_string(ExecutionPolicy::Mode m);
+
+/// Everything run_experiment needs besides the factory.
+struct ExperimentOptions {
+  std::size_t repetitions = 1;
+  std::uint64_t base_seed = 0;
+  ExecutionPolicy policy;
+};
 
 /// One failed replicate inside a batch: which one, with which seed, why.
 struct ReplicateFailure {
@@ -90,6 +172,20 @@ std::vector<ReplicateResult> run_replicates(const SpecFactory& factory,
                                             std::uint64_t base_seed,
                                             std::size_t jobs = 1);
 
+/// The lockstep executor: partitions the replicate index range into
+/// consecutive batches of `replicates_per_batch` (the last batch may be
+/// short) and advances each batch in lockstep on a BatchEngine; with
+/// jobs > 1 a worker pool pulls whole batches.  Same contract as
+/// run_replicates otherwise: results indexed by replicate, failures
+/// collected into one ReplicateBatchError after everything drained, seed
+/// overflow rejected up front.  Statistics are byte-identical to
+/// run_replicates at equal (factory, repetitions, base_seed); wall_ms is
+/// the batch wall time split evenly across the batch.
+std::vector<ReplicateResult> run_replicates_lockstep(
+    const SpecFactory& factory, std::size_t repetitions,
+    std::uint64_t base_seed, std::size_t replicates_per_batch,
+    std::size_t jobs = 1);
+
 /// Wall-clock measurement of a batch.  Unlike the simulation statistics,
 /// these values vary run to run and are excluded from same_statistics().
 struct BatchTiming {
@@ -97,11 +193,14 @@ struct BatchTiming {
   double wall_seconds = 0.0;   ///< whole-batch wall time
   double runs_per_second = 0.0;  ///< repetitions / wall_seconds
   std::size_t jobs = 1;        ///< worker-pool width actually used
+  /// Lockstep batch width R (1 = not batched).  Execution detail, like
+  /// jobs: excluded from same_statistics.
+  std::size_t replicates_per_batch = 1;
 };
 
 struct AggregateResult {
-  // Deterministic simulation statistics: identical (byte for byte) for
-  // serial and parallel batches at equal (factory, repetitions, base_seed).
+  // Deterministic simulation statistics: identical (byte for byte) across
+  // execution policies at equal (factory, repetitions, base_seed).
   Summary rounds_to_completion;  ///< over delivered runs only
   Summary tokens_sent;
   Summary packets_sent;
@@ -144,15 +243,28 @@ struct AggregateResult {
 AggregateResult aggregate_replicates(const std::vector<ReplicateResult>& reps,
                                      double batch_seconds, std::size_t jobs);
 
-/// Serial reference path: executes repetitions one after another on the
-/// calling thread.  Statistics are byte-identical to
-/// run_experiment_parallel at any job count.
+/// THE experiment entry point: executes options.repetitions replicates of
+/// the factory at seeds derived from options.base_seed under
+/// options.policy, and aggregates.  Statistics do not depend on the
+/// policy; timing does.
+AggregateResult run_experiment(const SpecFactory& factory,
+                               const ExperimentOptions& options);
+
+// ---- deprecated shims (one release) ------------------------------------
+//
+// The historical entry points, kept as thin wrappers over the options
+// form.  run_experiment(f, reps, seed) == Serial policy;
+// run_experiment_parallel(f, reps, seed, jobs) == Threaded{jobs}.
+
+[[deprecated("use run_experiment(factory, ExperimentOptions{reps, seed, "
+             "ExecutionPolicy::serial()}) — see analysis/experiment.hpp")]]
 AggregateResult run_experiment(const SpecFactory& factory,
                                std::size_t repetitions,
                                std::uint64_t base_seed);
 
-/// Batch executor on a fixed-size worker pool of `jobs` threads
-/// (0 = default_jobs()).
+[[deprecated("use run_experiment(factory, ExperimentOptions{reps, seed, "
+             "ExecutionPolicy::threaded(jobs)}) — see "
+             "analysis/experiment.hpp")]]
 AggregateResult run_experiment_parallel(const SpecFactory& factory,
                                         std::size_t repetitions,
                                         std::uint64_t base_seed,

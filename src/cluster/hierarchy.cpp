@@ -110,12 +110,15 @@ std::string HierarchyView::validate(const Graph& g,
   HINET_REQUIRE(max_hops >= 1, "max_hops must be >= 1");
   // Hop distances from each head are needed only when some member is
   // affiliated with it; compute lazily and cache per head.
+  // Error strings are built only on the failure path: this runs per node
+  // per generated phase, and an eager ostringstream per node dominated the
+  // happy path.
   std::vector<std::vector<int>> dist_cache(role_.size());
   for (NodeId v = 0; v < role_.size(); ++v) {
     const ClusterId k = cluster_[v];
-    std::ostringstream os;
     if (role_[v] == NodeRole::kHead) {
       if (k != v) {
+        std::ostringstream os;
         os << "head " << v << " has cluster id " << k << " (expected self)";
         return os.str();
       }
@@ -123,11 +126,13 @@ std::string HierarchyView::validate(const Graph& g,
     }
     if (k == kNoCluster) continue;  // unaffiliated is allowed
     if (k >= role_.size() || role_[k] != NodeRole::kHead) {
+      std::ostringstream os;
       os << "node " << v << " affiliated with " << k << " which is not a head";
       return os.str();
     }
     if (max_hops == 1) {
       if (!g.has_edge(v, k)) {
+        std::ostringstream os;
         os << "node " << v << " is not a graph neighbour of its head " << k;
         return os.str();
       }
@@ -135,6 +140,7 @@ std::string HierarchyView::validate(const Graph& g,
       if (dist_cache[k].empty()) dist_cache[k] = g.distances_from(k);
       const int d = dist_cache[k][v];
       if (d < 0 || static_cast<std::size_t>(d) > max_hops) {
+        std::ostringstream os;
         os << "node " << v << " is " << d << " hops from its head " << k
            << " (limit " << max_hops << ")";
         return os.str();

@@ -53,6 +53,7 @@
 #include "cluster/hierarchy.hpp"
 #include "graph/dynamic.hpp"
 #include "sim/channel.hpp"
+#include "sim/round_core.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/spec.hpp"
 
@@ -122,7 +123,7 @@ class Engine {
   void restore(const SimSnapshot& snap);
 
   /// Round index of the next round step() would execute.
-  Round current_round() const { return round_; }
+  Round current_round() const { return core_.round; }
 
   void set_observer(RoundObserver obs) { observer_ = std::move(obs); }
 
@@ -135,9 +136,13 @@ class Engine {
 
  private:
   void validate() const;
-  void init_run_buffers();
 
-  /// Arms (or disarms) the wall-clock budget from cfg_.deadline_ms,
+  /// Points the run core's bindings at this engine's topology, processes
+  /// and channel (called at start()/restore(), and per step for the
+  /// channel, which set_channel may swap between rounds).
+  void bind_core();
+
+  /// Arms (or disarms) the wall-clock budget from the core's deadline_ms,
   /// saturating un-representable budgets to "no deadline".
   void arm_deadline();
 
@@ -155,29 +160,19 @@ class Engine {
   RoundObserver observer_;
   ChannelModel* channel_ = nullptr;
 
-  // Run state, valid between start()/restore() and finish().  Everything
-  // here (except the reusable scratch and the wall-clock deadline) is what
-  // snapshot() captures.
+  // Run state and per-round scratch, valid between start()/restore() and
+  // finish().  The round body itself lives in detail::RunCore, shared
+  // verbatim with the lockstep BatchEngine; the core's state (round
+  // counter, metrics, completion flags) is what snapshot() captures.
   bool started_ = false;
   bool finished_ = false;
-  EngineConfig cfg_;
-  Round round_ = 0;
-  SimMetrics metrics_;
-  std::vector<char> complete_;
-  std::size_t complete_nodes_ = 0;
+  detail::RunCore core_;
+  detail::InboxScratch scratch_;
   // Supervision deadline: over-budget runs throw, they never degrade, so
   // results stay a pure function of (spec, seed).
   // detlint-allow(banned-time): deadline only gates abort, never results
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
-
-  // Per-round scratch, allocated once per run and reused (clear()/assign()
-  // keep capacity): steady-state rounds perform no heap allocation here.
-  std::vector<Packet> packets_;
-  std::vector<std::size_t> packet_costs_;
-  std::vector<std::uint32_t> inbox_offsets_;
-  std::vector<std::uint32_t> inbox_cursor_;
-  std::vector<PacketView> inbox_views_;
 };
 
 }  // namespace hinet

@@ -6,13 +6,11 @@
 
 namespace hinet {
 
-namespace {
-
 /// Spec-level validation with actionable, distinct messages.  The engine
 /// re-checks the structural invariants (it is also reachable through the
 /// borrowing constructor); these messages exist so a mis-built spec fails
 /// naming the field to fix rather than with a generic contract violation.
-void validate_spec(const SimulationSpec& spec) {
+void validate_simulation_spec(const SimulationSpec& spec) {
   HINET_REQUIRE(spec.network != nullptr, "SimulationSpec must own a network");
   if (spec.engine.max_rounds == 0) {
     throw PreconditionError(
@@ -55,10 +53,8 @@ void validate_spec(const SimulationSpec& spec) {
   }
 }
 
-}  // namespace
-
 SimMetrics run_simulation(SimulationSpec spec) {
-  validate_spec(spec);
+  validate_simulation_spec(spec);
   Engine engine(std::move(spec));
   return engine.run();
 }

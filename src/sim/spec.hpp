@@ -59,6 +59,12 @@ struct SimulationSpec {
   EngineConfig engine;
 };
 
+/// Spec-level validation with actionable, field-naming messages: network
+/// present, max_rounds non-zero, process/hierarchy node counts matching.
+/// run_simulation and the batch engine both call this; exposed so callers
+/// that assemble specs by hand can fail early with the same diagnostics.
+void validate_simulation_spec(const SimulationSpec& spec);
+
 /// Consumes the spec and executes it to completion on a fresh engine.
 /// Throws PreconditionError when the spec has no network or the processes
 /// do not match the network's node count.

@@ -68,7 +68,8 @@ TEST(Experiment, AggregatesDeterministicRuns) {
   cfg.alpha = 2;
   cfg.hop_l = 2;
   const AggregateResult agg =
-      run_experiment(scenario_factory(Scenario::kHiNetInterval, cfg), 3, 100);
+      run_experiment(scenario_factory(Scenario::kHiNetInterval, cfg),
+                     ExperimentOptions{3, 100, ExecutionPolicy::serial()});
   EXPECT_EQ(agg.repetitions, 3u);
   EXPECT_DOUBLE_EQ(agg.delivery_rate, 1.0);
   EXPECT_EQ(agg.rounds_to_completion.n, 3u);

@@ -116,8 +116,8 @@ TEST(ExperimentJournal, KilledSweepResumesByteIdenticallyAtAnyJobCount) {
   const std::uint64_t base_seed = 21;
   const SpecFactory factory = tiny_factory();
 
-  const AggregateResult clean =
-      run_experiment_parallel(factory, reps, base_seed, 1);
+  const AggregateResult clean = run_experiment(
+      factory, ExperimentOptions{reps, base_seed, ExecutionPolicy::serial()});
 
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
                                  std::size_t{4}}) {

@@ -39,10 +39,12 @@ TEST_P(SerialParallelEquivalence, IdenticalStatisticsAtEveryWorkerCount) {
   const std::size_t reps = 6;
   const std::uint64_t base_seed = 42;
 
-  const AggregateResult serial = run_experiment(factory, reps, base_seed);
+  const AggregateResult serial = run_experiment(
+      factory, ExperimentOptions{reps, base_seed, ExecutionPolicy::serial()});
   for (std::size_t jobs = 1; jobs <= 8; ++jobs) {
-    const AggregateResult parallel =
-        run_experiment_parallel(factory, reps, base_seed, jobs);
+    const AggregateResult parallel = run_experiment(
+        factory,
+        ExperimentOptions{reps, base_seed, ExecutionPolicy::threaded(jobs)});
     EXPECT_TRUE(parallel.same_statistics(serial))
         << scenario_name(GetParam()) << " diverges at jobs=" << jobs
         << "\nserial:   " << serial.to_string()
@@ -87,7 +89,8 @@ TEST(ParallelRunner, ReplicatesAreIndexedBySeedOffset) {
 TEST(ParallelRunner, TimingIsPopulated) {
   const SpecFactory factory =
       scenario_factory(Scenario::kHiNetInterval, small_config());
-  const AggregateResult agg = run_experiment_parallel(factory, 3, 1, 2);
+  const AggregateResult agg = run_experiment(
+      factory, ExperimentOptions{3, 1, ExecutionPolicy::threaded(2)});
   EXPECT_EQ(agg.timing.jobs, 2u);
   EXPECT_GT(agg.timing.wall_seconds, 0.0);
   EXPECT_GT(agg.timing.runs_per_second, 0.0);
@@ -98,8 +101,10 @@ TEST(ParallelRunner, TimingIsPopulated) {
 TEST(ParallelRunner, TimingIsExcludedFromStatisticsComparison) {
   const SpecFactory factory =
       scenario_factory(Scenario::kHiNetInterval, small_config());
-  const AggregateResult a = run_experiment_parallel(factory, 3, 1, 1);
-  const AggregateResult b = run_experiment_parallel(factory, 3, 1, 3);
+  const AggregateResult a = run_experiment(
+      factory, ExperimentOptions{3, 1, ExecutionPolicy::serial()});
+  const AggregateResult b = run_experiment(
+      factory, ExperimentOptions{3, 1, ExecutionPolicy::threaded(3)});
   // Wall times differ run to run; statistics must still compare equal.
   EXPECT_TRUE(a.same_statistics(b));
 }
@@ -108,7 +113,8 @@ TEST(ParallelRunner, ZeroJobsMeansDefaultJobs) {
   EXPECT_GE(default_jobs(), 1u);
   const SpecFactory factory =
       scenario_factory(Scenario::kKloOne, small_config());
-  const AggregateResult agg = run_experiment_parallel(factory, 2, 5, 0);
+  const AggregateResult agg = run_experiment(
+      factory, ExperimentOptions{2, 5, ExecutionPolicy::threaded(0)});
   EXPECT_EQ(agg.timing.jobs, default_jobs());
 }
 
@@ -118,7 +124,10 @@ TEST(ParallelRunner, FactoryExceptionPropagates) {
     return std::move(
         make_scenario(Scenario::kKloOne, small_config(), seed).spec);
   };
-  EXPECT_THROW(run_experiment_parallel(broken, 6, 0, 4), std::runtime_error);
+  EXPECT_THROW(
+      run_experiment(broken,
+                     ExperimentOptions{6, 0, ExecutionPolicy::threaded(4)}),
+      std::runtime_error);
 }
 
 TEST(ParallelRunner, AllWorkersObserveEveryReplicateExactlyOnce) {
@@ -128,15 +137,53 @@ TEST(ParallelRunner, AllWorkersObserveEveryReplicateExactlyOnce) {
     return std::move(
         make_scenario(Scenario::kHiNetOne, small_config(), seed).spec);
   };
-  const AggregateResult agg = run_experiment_parallel(counting, 5, 3, 3);
+  const AggregateResult agg = run_experiment(
+      counting, ExperimentOptions{5, 3, ExecutionPolicy::threaded(3)});
   EXPECT_EQ(agg.repetitions, 5u);
   EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ExecutionPolicy_, FactoriesAndQueries) {
+  EXPECT_EQ(ExecutionPolicy::serial().mode, ExecutionPolicy::Mode::kSerial);
+  EXPECT_EQ(ExecutionPolicy::threaded(3).jobs, 3u);
+  EXPECT_EQ(ExecutionPolicy::batched(4).replicates_per_batch, 4u);
+  const ExecutionPolicy tb = ExecutionPolicy::threaded_batched(2, 4);
+  EXPECT_TRUE(tb.is_threaded());
+  EXPECT_TRUE(tb.is_batched());
+  EXPECT_EQ(tb.effective_jobs(), 2u);
+  // Serial modes never spin up a pool regardless of the jobs field.
+  EXPECT_EQ(ExecutionPolicy::serial().effective_jobs(), 1u);
+  EXPECT_EQ(ExecutionPolicy::batched(8).effective_jobs(), 1u);
+  EXPECT_EQ(std::string(to_string(ExecutionPolicy::Mode::kThreadedBatched)),
+            "threaded-batched");
+}
+
+// The one sanctioned use of the deprecated entry points: pin that the
+// shims forward to the options form with equivalent semantics until they
+// are removed.
+TEST(ParallelRunner, DeprecatedShimsMatchOptionsForm) {
+  const SpecFactory factory =
+      scenario_factory(Scenario::kHiNetInterval, small_config());
+  const AggregateResult options_form = run_experiment(
+      factory, ExperimentOptions{3, 7, ExecutionPolicy::serial()});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const AggregateResult old_serial = run_experiment(factory, 3, 7);
+  const AggregateResult old_parallel =
+      run_experiment_parallel(factory, 3, 7, 2);
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(old_serial.same_statistics(options_form));
+  EXPECT_TRUE(old_parallel.same_statistics(options_form));
+  EXPECT_EQ(old_parallel.timing.jobs, 2u);
 }
 
 TEST(ParallelRunner, RequiresAtLeastOneRepetition) {
   const SpecFactory factory =
       scenario_factory(Scenario::kKloOne, small_config());
-  EXPECT_THROW(run_experiment_parallel(factory, 0, 1, 2), PreconditionError);
+  EXPECT_THROW(
+      run_experiment(factory,
+                     ExperimentOptions{0, 1, ExecutionPolicy::threaded(2)}),
+      PreconditionError);
 }
 
 }  // namespace

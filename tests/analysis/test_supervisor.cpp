@@ -145,8 +145,9 @@ TEST(Supervisor, IsolatesFailuresAndSalvagesTheRest) {
 
   // A clean run of the same sweep is a *different* result: the loss is
   // part of the statistics and of the digest.
-  const AggregateResult clean =
-      run_experiment_parallel(tiny_factory(), 5, base_seed, 1);
+  const AggregateResult clean = run_experiment(
+      tiny_factory(),
+      ExperimentOptions{5, base_seed, ExecutionPolicy::serial()});
   EXPECT_FALSE(agg.same_statistics(clean));
   EXPECT_NE(agg.stats_digest(), clean.stats_digest());
 }
@@ -260,7 +261,8 @@ TEST(Supervisor, CancelMidBatchKeepsWhatCompleted) {
 
 TEST(Supervisor, SupervisedMatchesUnsupervisedWhenNothingGoesWrong) {
   const SpecFactory factory = tiny_factory();
-  const AggregateResult plain = run_experiment_parallel(factory, 6, 9, 2);
+  const AggregateResult plain = run_experiment(
+      factory, ExperimentOptions{6, 9, ExecutionPolicy::threaded(2)});
   SupervisorPolicy policy;
   const AggregateResult supervised =
       run_experiment_supervised(factory, 6, 9, 2, policy);

@@ -1,0 +1,229 @@
+// BatchEngine: lockstep execution must be observably identical to running
+// each replicate on its own serial Engine.
+//
+// The load-bearing matrix: every evaluation scenario × every channel model
+// × two base seeds, three replicates per batch — each slot's SimMetrics
+// must equal the serial run's via the exhaustive defaulted operator==.
+// The rest pins the contract surface: failure isolation (one throwing
+// replicate never contaminates the others), the classified exception_ptr
+// on failures, the batch-wide deadline, channel homogeneity, and the
+// single-shot / empty-batch preconditions.
+#include "sim/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/scenarios.hpp"
+#include "sim/channel.hpp"
+
+namespace hinet {
+namespace {
+
+enum class ChannelKind { kPerfect, kLossy, kCollision, kGilbertElliott };
+
+const char* channel_name(ChannelKind c) {
+  switch (c) {
+    case ChannelKind::kPerfect:
+      return "perfect";
+    case ChannelKind::kLossy:
+      return "lossy";
+    case ChannelKind::kCollision:
+      return "collision";
+    case ChannelKind::kGilbertElliott:
+      return "gilbert-elliott";
+  }
+  return "?";
+}
+
+constexpr Scenario kAllScenarios[] = {
+    Scenario::kKloInterval, Scenario::kHiNetInterval,
+    Scenario::kHiNetIntervalStable, Scenario::kKloOne, Scenario::kHiNetOne};
+
+constexpr ChannelKind kAllChannels[] = {
+    ChannelKind::kPerfect, ChannelKind::kLossy, ChannelKind::kCollision,
+    ChannelKind::kGilbertElliott};
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.nodes = 24;
+  cfg.heads = 6;
+  cfg.k = 4;
+  cfg.alpha = 2;
+  cfg.hop_l = 2;
+  return cfg;
+}
+
+SimulationSpec build_spec(Scenario s, ChannelKind c, std::uint64_t seed) {
+  SimulationSpec spec = scenario_factory(s, small_config())(seed);
+  switch (c) {
+    case ChannelKind::kPerfect:
+      break;
+    case ChannelKind::kLossy:
+      spec.channel =
+          std::make_unique<LossyChannel>(0.2, seed ^ 0xc0ffee0ddccull);
+      break;
+    case ChannelKind::kCollision:
+      spec.channel = std::make_unique<CollisionChannel>(3);
+      break;
+    case ChannelKind::kGilbertElliott:
+      spec.channel = std::make_unique<GilbertElliottChannel>(
+          GilbertElliottParams{}, seed ^ 0xbadc0deull);
+      break;
+  }
+  return spec;
+}
+
+TEST(BatchEngine, LockstepEqualsSerialAcrossScenariosChannelsSeeds) {
+  constexpr std::size_t kReplicates = 3;
+  for (const Scenario s : kAllScenarios) {
+    for (const ChannelKind c : kAllChannels) {
+      for (const std::uint64_t base_seed : {std::uint64_t{7},
+                                            std::uint64_t{4242}}) {
+        SCOPED_TRACE(std::string(scenario_name(s)) + " / " + channel_name(c) +
+                     " / seed " + std::to_string(base_seed));
+
+        std::vector<SimulationSpec> specs;
+        for (std::size_t i = 0; i < kReplicates; ++i) {
+          specs.push_back(build_spec(s, c, base_seed + i));
+        }
+        BatchEngine engine(std::move(specs));
+        const BatchOutcome outcome = engine.run();
+        ASSERT_EQ(outcome.slots.size(), kReplicates);
+        EXPECT_TRUE(outcome.failures.empty());
+
+        for (std::size_t i = 0; i < kReplicates; ++i) {
+          ASSERT_TRUE(outcome.slots[i].has_value()) << "replicate " << i;
+          const SimMetrics serial =
+              run_simulation(build_spec(s, c, base_seed + i));
+          EXPECT_TRUE(*outcome.slots[i] == serial) << "replicate " << i;
+        }
+      }
+    }
+  }
+}
+
+// A process that detonates at a chosen round — in transmit, the phase the
+// lockstep engine runs replicate-major first.
+class BombProcess : public Process {
+ public:
+  BombProcess(TokenSet knowledge, Round detonate_at)
+      : knowledge_(std::move(knowledge)), detonate_at_(detonate_at) {}
+
+  std::optional<Packet> transmit(const RoundContext& ctx) override {
+    if (ctx.round >= detonate_at_) {
+      throw InvariantError("bomb process detonated");
+    }
+    return std::nullopt;
+  }
+  void receive(const RoundContext&, InboxView) override {}
+  const TokenSet& knowledge() const override { return knowledge_; }
+
+ private:
+  TokenSet knowledge_;
+  Round detonate_at_;
+};
+
+SimulationSpec bombed_spec(Scenario s, std::uint64_t seed, Round detonate_at) {
+  SimulationSpec spec = build_spec(s, ChannelKind::kPerfect, seed);
+  const std::size_t universe = spec.processes.front()->knowledge().universe();
+  spec.processes[0] =
+      std::make_unique<BombProcess>(TokenSet(universe), detonate_at);
+  return spec;
+}
+
+TEST(BatchEngine, OneFailingReplicateDoesNotContaminateTheOthers) {
+  const std::uint64_t base_seed = 11;
+  std::vector<SimulationSpec> specs;
+  specs.push_back(build_spec(Scenario::kHiNetOne, ChannelKind::kPerfect,
+                             base_seed));
+  specs.push_back(bombed_spec(Scenario::kHiNetOne, base_seed + 1,
+                              /*detonate_at=*/2));
+  specs.push_back(build_spec(Scenario::kHiNetOne, ChannelKind::kPerfect,
+                             base_seed + 2));
+
+  BatchEngine engine(std::move(specs));
+  const BatchOutcome outcome = engine.run();
+  EXPECT_EQ(outcome.completed(), 2u);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].index, 1u);
+  EXPECT_NE(outcome.failures[0].message.find("bomb process"),
+            std::string::npos);
+  // The carried exception_ptr rethrows as the original type, so supervised
+  // callers can classify it.
+  EXPECT_THROW(std::rethrow_exception(outcome.failures[0].error),
+               InvariantError);
+  EXPECT_FALSE(outcome.slots[1].has_value());
+
+  // The survivors must still be byte-identical to their serial runs.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    const SimMetrics serial = run_simulation(
+        build_spec(Scenario::kHiNetOne, ChannelKind::kPerfect, base_seed + i));
+    EXPECT_TRUE(*outcome.slots[i] == serial) << "replicate " << i;
+  }
+}
+
+TEST(BatchEngine, BatchDeadlineFailsUnfinishedReplicatesWithDeadlineError) {
+  // An unreachable deadline (1 ms, checked at lockstep-round granularity)
+  // is hard to hit deterministically with real workloads, so use bombs
+  // that never detonate but also never complete: stop_when_complete off
+  // and a huge round budget would spin for a long time — instead pin the
+  // semantics with an already-expired budget: deadline_ms = 1 and a
+  // workload of hundreds of lockstep rounds must abort early and classify
+  // every unfinished replicate as DeadlineError.
+  std::vector<SimulationSpec> specs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    SimulationSpec spec =
+        build_spec(Scenario::kHiNetInterval, ChannelKind::kLossy, 31 + i);
+    spec.engine.deadline_ms = 1;
+    // Never complete early: run the full schedule.
+    spec.engine.stop_when_complete = false;
+    spec.engine.max_rounds = 200000;
+    specs.push_back(std::move(spec));
+  }
+  BatchEngine engine(std::move(specs));
+  const BatchOutcome outcome = engine.run();
+  // Either the whole batch beat the clock (conceivable only on absurdly
+  // fast hardware) or every unfinished replicate reports DeadlineError.
+  for (const BatchReplicateFailure& f : outcome.failures) {
+    EXPECT_THROW(std::rethrow_exception(f.error), DeadlineError);
+    EXPECT_NE(f.message.find("lockstep batch shares one wall budget"),
+              std::string::npos);
+  }
+  EXPECT_EQ(outcome.completed() + outcome.failures.size(), 2u);
+}
+
+TEST(BatchEngine, RejectsEmptyBatch) {
+  EXPECT_THROW(BatchEngine(std::vector<SimulationSpec>{}), PreconditionError);
+}
+
+TEST(BatchEngine, RejectsChannelHeterogeneousBatch) {
+  std::vector<SimulationSpec> specs;
+  specs.push_back(build_spec(Scenario::kKloOne, ChannelKind::kLossy, 1));
+  SimulationSpec no_channel =
+      build_spec(Scenario::kKloOne, ChannelKind::kPerfect, 2);
+  no_channel.channel = nullptr;
+  specs.push_back(std::move(no_channel));
+  EXPECT_THROW(BatchEngine(std::move(specs)), PreconditionError);
+}
+
+TEST(BatchEngine, RunIsSingleShot) {
+  std::vector<SimulationSpec> specs;
+  specs.push_back(build_spec(Scenario::kKloOne, ChannelKind::kPerfect, 5));
+  BatchEngine engine(std::move(specs));
+  engine.run();
+  EXPECT_THROW(engine.run(), PreconditionError);
+}
+
+TEST(BatchEngine, ValidatesEverySpecUpFront) {
+  SimulationSpec bad = build_spec(Scenario::kKloOne, ChannelKind::kPerfect, 3);
+  bad.engine.max_rounds = 0;
+  std::vector<SimulationSpec> specs;
+  specs.push_back(std::move(bad));
+  EXPECT_THROW(BatchEngine(std::move(specs)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hinet

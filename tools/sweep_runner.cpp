@@ -19,6 +19,11 @@
 // CI smoke: the process hard-exits (status 42, no cleanup) right after the
 // N-th freshly executed replicate reaches the journal — exactly the state
 // a SIGKILL at that moment would leave behind.
+//
+// --policy selects the ExecutionPolicy (serial | threaded | batched |
+// threaded-batched; --batch-r sets the lockstep width R).  Statistics and
+// the stats-digest are byte-identical across policies; under the batched
+// policies --deadline-ms bounds each lockstep batch as a whole.
 
 #include <atomic>
 #include <chrono>
@@ -53,6 +58,17 @@ hinet::Scenario parse_scenario(const std::string& name) {
       "hinet-interval-stable, klo-one, hinet-one)");
 }
 
+hinet::ExecutionPolicy::Mode parse_policy(const std::string& name) {
+  using Mode = hinet::ExecutionPolicy::Mode;
+  if (name == "serial") return Mode::kSerial;
+  if (name == "threaded") return Mode::kThreaded;
+  if (name == "batched") return Mode::kBatched;
+  if (name == "threaded-batched") return Mode::kThreadedBatched;
+  throw std::invalid_argument(
+      "unknown --policy '" + name +
+      "' (choose one of: serial, threaded, batched, threaded-batched)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +95,12 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = static_cast<std::uint64_t>(
         args.get_int("seed", 1, "base seed (replicate i uses seed + i)"));
     const std::size_t jobs = args.get_jobs();
+    const std::string policy_arg = args.get_string(
+        "policy", "threaded",
+        "execution policy: serial | threaded | batched | threaded-batched");
+    const std::size_t batch_r = static_cast<std::size_t>(args.get_int(
+        "batch-r", 8,
+        "lockstep batch width R for the batched policies"));
     const std::string journal_path = args.get_string(
         "journal", "", "journal file for crash-safe resume ('' = none)");
     const bool resume = args.get_bool(
@@ -106,6 +128,12 @@ int main(int argc, char** argv) {
 
     const Scenario scenario = parse_scenario(scenario_arg);
     const SpecFactory factory = scenario_factory(scenario, cfg);
+
+    ExecutionPolicy exec;
+    exec.mode = parse_policy(policy_arg);
+    exec.jobs = jobs;
+    exec.replicates_per_batch = batch_r;
+    const ExperimentOptions options{reps, seed, exec};
 
     std::unique_ptr<ExperimentJournal> journal;
     if (!journal_path.empty()) {
@@ -146,14 +174,17 @@ int main(int argc, char** argv) {
 
     const auto t0 = Clock::now();
     const SupervisedBatch batch =
-        run_replicates_supervised(factory, reps, seed, jobs, policy);
+        run_replicates_supervised(factory, options, policy);
     const double seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
 
     std::cout << "scenario=" << scenario_arg << " nodes=" << cfg.nodes
               << " heads=" << cfg.heads << " k=" << cfg.k
               << " alpha=" << cfg.alpha << " L=" << cfg.hop_l
-              << " reps=" << reps << " seed=" << seed << "\n";
+              << " reps=" << reps << " seed=" << seed
+              << " policy=" << to_string(exec.mode);
+    if (exec.is_batched()) std::cout << " batch-r=" << batch_r;
+    std::cout << "\n";
     std::cout << "completed: " << batch.completed() << "/" << reps
               << "  from-journal: " << batch.from_journal
               << "  retried: " << batch.retried_replicates
@@ -169,7 +200,8 @@ int main(int argc, char** argv) {
       std::cerr << "error: no replicate completed — nothing to aggregate\n";
       return 1;
     }
-    const AggregateResult agg = aggregate_supervised(batch, seconds, jobs);
+    const AggregateResult agg =
+        aggregate_supervised(batch, seconds, exec.effective_jobs());
     std::cout << agg.to_string() << "\n";
     std::ostringstream digest;
     digest << std::hex << std::setw(16) << std::setfill('0')
