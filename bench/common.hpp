@@ -1,10 +1,16 @@
 // Shared helpers for the benchmark/reproduction binaries.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
 
 #include "analysis/experiment.hpp"
 #include "analysis/scenarios.hpp"
@@ -14,6 +20,40 @@
 #include "util/table.hpp"
 
 namespace hinet::bench {
+
+/// Peak resident set size of this process in bytes, 0 where unsupported.
+/// Monotone over the process lifetime (the high-water mark): order bench
+/// points smallest-first so each point's reading is attributable to it.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Current resident set size in bytes (Linux /proc/self/statm), 0 where
+/// unsupported.  Unlike the peak this goes back down when a large trace is
+/// freed, so sampling it while a run's spec is still alive attributes the
+/// reading to that run's working set.
+inline std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream f("/proc/self/statm");
+  std::size_t pages_total = 0;
+  std::size_t pages_resident = 0;
+  if (!(f >> pages_total >> pages_resident)) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return pages_resident * static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
 
 /// One measured row: a scenario run `reps` times with derived seeds.
 struct MeasuredRow {

@@ -6,13 +6,28 @@
 // (1, L)-HiNet trace, where every node transmits its whole token set every
 // round.  Trace generation and process construction happen outside the
 // timed region, so rounds/sec and delivered-tokens/sec reflect Engine::run
-// alone.  Results go to stdout and, with --out, to a BENCH_*.json file;
-// BENCH_engine_hotpath.json keeps the pre-refactor baseline next to the
-// current numbers.
+// alone.
+//
+// Two trace modes feed the same workload:
+//   - materialized: the whole GraphSequence is resident (the historical
+//     path, memory O(n · Γ)) — kept for the small sizes so throughput
+//     stays comparable with the pre-streaming baseline;
+//   - streaming: rounds are synthesized on demand through make_hinet_stream
+//     with a 2-round ring, memory O(n · W) — the only mode that reaches
+//     n = 10^4 and 10^5 (a materialized trace at n = 10^5 × 400 rounds
+//     would need several GiB; CI pins this with an address-space rlimit).
+// The memory columns report the process RSS sampled right after the timed
+// run with the spec still alive (resident, attributable to the trace +
+// engine) and the process-lifetime peak (monotone; points run
+// smallest-first so each reading is attributable).
+//
+// Results go to stdout and, with --out, to a BENCH_*.json file;
+// BENCH_engine_hotpath.json keeps the streaming-vs-materialized comparison
+// on record.
 #include "common.hpp"
 
 #include <chrono>
-#include <fstream>
+#include <cstdlib>
 #include <numeric>
 
 #include "baseline/klo.hpp"
@@ -26,15 +41,19 @@ namespace {
 struct Point {
   std::size_t nodes = 0;
   std::size_t rounds = 0;
+  bool streaming = false;
   double seconds = 0.0;             ///< best-of-reps wall time of Engine::run
   double rounds_per_second = 0.0;
   std::size_t delivered_tokens = 0; ///< Σ per_node_rx_tokens of one run
   double delivered_tokens_per_second = 0.0;
   std::size_t tokens_sent = 0;
+  std::size_t resident_bytes = 0;   ///< RSS after the run, spec alive
+  std::size_t peak_rss_bytes = 0;   ///< process high-water mark after point
+  double bytes_per_node = 0.0;      ///< resident_bytes / nodes
 };
 
 SimulationSpec build_spec(std::size_t nodes, std::size_t rounds, std::size_t k,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, bool streaming) {
   ScenarioConfig cfg;
   cfg.nodes = nodes;
   cfg.heads = std::max<std::size_t>(2, nodes / 8);
@@ -43,7 +62,6 @@ SimulationSpec build_spec(std::size_t nodes, std::size_t rounds, std::size_t k,
   cfg.hop_l = 2;
   HiNetConfig gen = scenario_generator(Scenario::kKloOne, cfg, seed);
   gen.phases = rounds;  // shorten the trace to the measured horizon
-  HiNetTrace trace = make_hinet_trace(gen);
 
   Rng assign_rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
   const auto initial =
@@ -54,8 +72,14 @@ SimulationSpec build_spec(std::size_t nodes, std::size_t rounds, std::size_t k,
   p.rounds = rounds;
 
   SimulationSpec spec;
-  spec.network =
-      std::make_unique<GraphSequence>(std::move(trace.ctvg.topology()));
+  if (streaming) {
+    HiNetStream stream = make_hinet_stream(gen);
+    spec.network = std::move(stream.topology);
+  } else {
+    HiNetTrace trace = make_hinet_trace(gen);
+    spec.network =
+        std::make_unique<GraphSequence>(std::move(trace.ctvg.topology()));
+  }
   spec.processes = make_klo_flood_processes(initial, p);
   spec.engine.max_rounds = rounds;
   spec.engine.stop_when_complete = false;
@@ -63,16 +87,21 @@ SimulationSpec build_spec(std::size_t nodes, std::size_t rounds, std::size_t k,
 }
 
 Point measure(std::size_t nodes, std::size_t rounds, std::size_t k,
-              std::uint64_t seed, std::size_t reps) {
+              std::uint64_t seed, std::size_t reps, bool streaming) {
   Point pt;
   pt.nodes = nodes;
   pt.rounds = rounds;
+  pt.streaming = streaming;
   pt.seconds = -1.0;
   for (std::size_t rep = 0; rep < reps + 1; ++rep) {
-    SimulationSpec spec = build_spec(nodes, rounds, k, seed);
+    Engine engine(build_spec(nodes, rounds, k, seed, streaming));
     const auto t0 = std::chrono::steady_clock::now();
-    const SimMetrics m = run_simulation(std::move(spec));
+    const SimMetrics m = engine.run();
     const auto t1 = std::chrono::steady_clock::now();
+    // Sample memory while the engine (and thus the trace) is still alive,
+    // so the reading reflects this configuration's working set.
+    pt.resident_bytes = bench::current_rss_bytes();
+    pt.peak_rss_bytes = bench::peak_rss_bytes();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     if (rep == 0) continue;  // warm-up
     if (pt.seconds < 0.0 || secs < pt.seconds) pt.seconds = secs;
@@ -85,6 +114,8 @@ Point measure(std::size_t nodes, std::size_t rounds, std::size_t k,
   pt.rounds_per_second = static_cast<double>(rounds) / pt.seconds;
   pt.delivered_tokens_per_second =
       static_cast<double>(pt.delivered_tokens) / pt.seconds;
+  pt.bytes_per_node = static_cast<double>(pt.resident_bytes) /
+                      static_cast<double>(nodes);
   return pt;
 }
 
@@ -100,6 +131,12 @@ int main(int argc, char** argv) {
       args.get_int("k", 16, "token universe size"));
   const auto only_nodes = static_cast<std::size_t>(args.get_int(
       "nodes", 0, "measure a single network size (0 = the full sweep)"));
+  const auto only_rounds = static_cast<std::size_t>(args.get_int(
+      "rounds", 0, "rounds for --nodes (0 = min(nodes-1, 150))"));
+  const std::string mode = args.get_string(
+      "mode", "both",
+      "trace mode: both | materialized | streaming (with --nodes the "
+      "default is streaming)");
   const std::string out_path = args.get_string(
       "out", "", "write BENCH json to this path (empty = stdout only)");
 
@@ -107,27 +144,57 @@ int main(int argc, char** argv) {
     struct Size {
       std::size_t nodes;
       std::size_t rounds;
+      bool streaming;
     };
+    const bool want_mat = mode == "both" || mode == "materialized";
+    const bool want_stream = mode == "both" || mode == "streaming";
+    if (!want_mat && !want_stream) {
+      std::cerr << "unknown --mode: " << mode
+                << " (expected both | materialized | streaming)\n";
+      std::exit(2);
+    }
     std::vector<Size> sizes;
     if (only_nodes != 0) {
-      sizes.push_back({only_nodes, std::min(only_nodes - 1,
-                                            static_cast<std::size_t>(150))});
+      const std::size_t r =
+          only_rounds != 0
+              ? only_rounds
+              : std::min(only_nodes - 1, static_cast<std::size_t>(150));
+      // A single explicit size defaults to the streaming path (the mode
+      // that scales); ask for --mode=materialized to compare.
+      sizes.push_back({only_nodes, r, mode != "materialized"});
     } else {
-      sizes = {{100, 99}, {400, 150}, {1000, 120}};
+      // Smallest-first so the monotone peak-RSS column stays attributable;
+      // the large-n points exist only on the streaming path.
+      if (want_mat) {
+        sizes.push_back({100, 99, false});
+        sizes.push_back({400, 150, false});
+        sizes.push_back({1000, 120, false});
+      }
+      if (want_stream) {
+        sizes.push_back({1000, 120, true});  // cross-mode comparison point
+        sizes.push_back({10000, 100, true});
+        sizes.push_back({100000, 50, true});
+      }
     }
 
     std::cout << "=== Engine delivery hot path (KLO flood on (1, L)-HiNet, "
                  "k=" << k << ", seed=" << seed << ") ===\n\n";
-    TextTable t({"n", "rounds", "wall s", "rounds/s", "delivered tok/s",
-                 "tokens sent"});
+    TextTable t({"n", "rounds", "mode", "wall s", "rounds/s",
+                 "delivered tok/s", "rss MiB", "B/node"});
     std::vector<Point> points;
     for (const Size& s : sizes) {
-      const Point p = measure(s.nodes, s.rounds, k, seed, reps);
-      t.add(p.nodes, p.rounds, p.seconds, p.rounds_per_second,
-            p.delivered_tokens_per_second, p.tokens_sent);
+      const Point p = measure(s.nodes, s.rounds, k, seed, reps, s.streaming);
+      t.add(p.nodes, p.rounds, p.streaming ? "streaming" : "materialized",
+            p.seconds, p.rounds_per_second, p.delivered_tokens_per_second,
+            static_cast<double>(p.resident_bytes) / (1024.0 * 1024.0),
+            p.bytes_per_node);
       points.push_back(p);
     }
     std::cout << t;
+    std::cout << "\nmemory: rss MiB samples the process RSS right after the "
+                 "timed run with the trace\nstill alive; on the streaming "
+                 "path it stays O(n * window) regardless of rounds,\non the "
+                 "materialized path it grows with n * rounds.\n";
 
     if (!out_path.empty()) {
       std::ofstream f(out_path);
@@ -137,15 +204,24 @@ int main(int argc, char** argv) {
       f << "  \"k\": " << k << ",\n";
       f << "  \"seed\": " << seed << ",\n";
       f << "  \"reps\": " << reps << ",\n";
+      f << "  \"notes\": \"resident_bytes = process RSS sampled after the "
+           "timed run with the spec alive; peak_rss_bytes = process "
+           "high-water mark (monotone, points run smallest-first). "
+           "Streaming points hold only a 2-round ring, so resident_bytes "
+           "is O(n) while materialized grows O(n*rounds).\",\n";
       f << "  \"points\": [\n";
       for (std::size_t i = 0; i < points.size(); ++i) {
         const Point& p = points[i];
         f << "    {\"nodes\": " << p.nodes << ", \"rounds\": " << p.rounds
-          << ", \"seconds\": " << p.seconds
+          << ", \"mode\": \"" << (p.streaming ? "streaming" : "materialized")
+          << "\", \"seconds\": " << p.seconds
           << ", \"rounds_per_second\": " << p.rounds_per_second
           << ", \"delivered_tokens_per_second\": "
           << p.delivered_tokens_per_second
-          << ", \"tokens_sent\": " << p.tokens_sent << "}"
+          << ", \"tokens_sent\": " << p.tokens_sent
+          << ", \"resident_bytes\": " << p.resident_bytes
+          << ", \"peak_rss_bytes\": " << p.peak_rss_bytes
+          << ", \"bytes_per_node\": " << p.bytes_per_node << "}"
           << (i + 1 < points.size() ? "," : "") << "\n";
       }
       f << "  ]\n}\n";

@@ -10,32 +10,35 @@ namespace hinet {
 
 namespace {
 
-WindowReport judge_window(Ctvg& g, Round start, std::size_t t, int l) {
+WindowReport judge_window(DynamicNetwork& net, HierarchyProvider& hier,
+                          Round start, std::size_t t, int l) {
   WindowReport w;
   w.start = start;
   w.length = t;
   std::ostringstream os;
 
   // Definition 2: the head set is constant across the window.
-  const auto head_reference = g.hierarchy_at(start).heads();
+  const auto head_reference = hier.hierarchy_at(start).heads();
   for (std::size_t i = 1; i < t && w.head_set_stable; ++i) {
-    if (g.hierarchy_at(start + i).heads() != head_reference) {
+    if (hier.hierarchy_at(start + i).heads() != head_reference) {
       w.head_set_stable = false;
       os << "head set changed at round " << start + i;
     }
   }
 
   // Definition 4: the entire hierarchy (roles + affiliations) is constant.
-  const HierarchyView& hier_reference = g.hierarchy_at(start);
+  // Copy the window-start view: over a streaming provider with a window
+  // shorter than t, a reference into the ring would not survive the loop.
+  const HierarchyView hier_reference = hier.hierarchy_at(start);
   for (std::size_t i = 1; i < t && w.hierarchy_stable; ++i) {
-    if (!(g.hierarchy_at(start + i) == hier_reference)) {
+    if (!(hier.hierarchy_at(start + i) == hier_reference)) {
       w.hierarchy_stable = false;
       if (os.tellp() == 0) os << "hierarchy changed at round " << start + i;
     }
   }
 
   // Definition 5: a stable connected subgraph Υ spans the window's heads.
-  const auto upsilon = stable_head_subgraph(g, start, t);
+  const auto upsilon = stable_head_subgraph(net, hier, start, t);
   if (!upsilon) {
     w.head_connectivity = false;
     w.l_hop_ok = false;
@@ -95,13 +98,23 @@ std::string AssumptionReport::to_string() const {
 
 AssumptionReport monitor_assumptions(Ctvg& trace, std::size_t rounds,
                                      std::size_t t, int l) {
+  return monitor_assumptions(trace.topology(), trace.hierarchy(), rounds, t,
+                             l);
+}
+
+AssumptionReport monitor_assumptions(DynamicNetwork& net,
+                                     HierarchyProvider& hier,
+                                     std::size_t rounds, std::size_t t,
+                                     int l) {
   HINET_REQUIRE(t >= 1, "T must be >= 1");
   HINET_REQUIRE(l >= 1, "L must be >= 1");
+  HINET_REQUIRE(net.node_count() == hier.node_count(),
+                "topology and hierarchy node counts differ");
   AssumptionReport report;
   report.t = t;
   report.l = l;
   for (Round start = 0; start + t <= rounds; start += t) {
-    report.windows.push_back(judge_window(trace, start, t, l));
+    report.windows.push_back(judge_window(net, hier, start, t, l));
   }
   return report;
 }

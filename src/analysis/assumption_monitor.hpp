@@ -5,9 +5,10 @@
 // for unit tests and bounds audits.  Under fault injection the interesting
 // question is different: *which* windows of the realized trace broke
 // *which* assumption, and how did dissemination fare around them.  The
-// monitor replays a realized trace (typically: materialize() the
-// FaultyNetwork the run actually saw, re-cluster it, wrap as a Ctvg) and
-// produces one report per aligned T-window covering
+// monitor replays a realized trace — a materialized Ctvg, or any
+// topology/hierarchy provider pair (a FaultyNetwork over a streaming
+// generator runs online, one window at a time, with nothing fully
+// resident) — and produces one report per aligned T-window covering
 //   - Definition 2  (T-interval stable cluster head set),
 //   - Definition 4  (T-interval stable hierarchy),
 //   - Definition 5  (head connectivity via a stable subgraph Υ),
@@ -74,6 +75,16 @@ struct AssumptionReport {
 /// windows.
 AssumptionReport monitor_assumptions(Ctvg& trace, std::size_t rounds,
                                      std::size_t t, int l);
+
+/// Online form over any topology/hierarchy pair — in particular the
+/// lazily synthesised views of make_hinet_stream (pass the stream a ring
+/// window >= t so each aligned window stays resident and the pass never
+/// replays), optionally wrapped in a FaultyNetwork.  Windows are judged
+/// strictly forward, so traces far too large to materialize can still be
+/// certified.
+AssumptionReport monitor_assumptions(DynamicNetwork& net,
+                                     HierarchyProvider& hier,
+                                     std::size_t rounds, std::size_t t, int l);
 
 /// Fills each window's completion_fraction_end from the run's per-round
 /// completion series, making the violation log joinable against the

@@ -367,25 +367,4 @@ AggregateResult run_experiment(const SpecFactory& factory,
   return out;
 }
 
-// Deprecated shims.  Definitions of [[deprecated]] functions do not warn
-// (only calls do), so these compile cleanly under -Werror while every
-// external caller gets pointed at the options form.
-
-AggregateResult run_experiment(const SpecFactory& factory,
-                               std::size_t repetitions,
-                               std::uint64_t base_seed) {
-  return run_experiment(
-      factory,
-      ExperimentOptions{repetitions, base_seed, ExecutionPolicy::serial()});
-}
-
-AggregateResult run_experiment_parallel(const SpecFactory& factory,
-                                        std::size_t repetitions,
-                                        std::uint64_t base_seed,
-                                        std::size_t jobs) {
-  return run_experiment(
-      factory, ExperimentOptions{repetitions, base_seed,
-                                 ExecutionPolicy::threaded(jobs)});
-}
-
 }  // namespace hinet

@@ -250,24 +250,4 @@ AggregateResult aggregate_replicates(const std::vector<ReplicateResult>& reps,
 AggregateResult run_experiment(const SpecFactory& factory,
                                const ExperimentOptions& options);
 
-// ---- deprecated shims (one release) ------------------------------------
-//
-// The historical entry points, kept as thin wrappers over the options
-// form.  run_experiment(f, reps, seed) == Serial policy;
-// run_experiment_parallel(f, reps, seed, jobs) == Threaded{jobs}.
-
-[[deprecated("use run_experiment(factory, ExperimentOptions{reps, seed, "
-             "ExecutionPolicy::serial()}) — see analysis/experiment.hpp")]]
-AggregateResult run_experiment(const SpecFactory& factory,
-                               std::size_t repetitions,
-                               std::uint64_t base_seed);
-
-[[deprecated("use run_experiment(factory, ExperimentOptions{reps, seed, "
-             "ExecutionPolicy::threaded(jobs)}) — see "
-             "analysis/experiment.hpp")]]
-AggregateResult run_experiment_parallel(const SpecFactory& factory,
-                                        std::size_t repetitions,
-                                        std::uint64_t base_seed,
-                                        std::size_t jobs = 0);
-
 }  // namespace hinet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binary_io.hpp"
 #include "util/rng.hpp"
 
 namespace hinet {
@@ -15,6 +16,24 @@ std::size_t hinet_min_nodes(std::size_t heads, int hop_l) {
 }
 
 namespace {
+
+void validate_config(const HiNetConfig& cfg) {
+  HINET_REQUIRE(cfg.nodes >= 1, "need nodes");
+  HINET_REQUIRE(cfg.heads >= 1, "need at least one head");
+  HINET_REQUIRE(cfg.phase_length >= 1, "T must be >= 1");
+  HINET_REQUIRE(cfg.phases >= 1, "need at least one phase");
+  HINET_REQUIRE(cfg.hop_l >= 1, "L must be >= 1");
+  HINET_REQUIRE(cfg.nodes >= hinet_min_nodes(cfg.heads, cfg.hop_l),
+                "node budget too small for heads + backbone relays");
+  HINET_REQUIRE(
+      cfg.reaffiliation_prob >= 0.0 && cfg.reaffiliation_prob <= 1.0,
+      "reaffiliation_prob outside [0,1]");
+  HINET_REQUIRE(cfg.head_churn_prob >= 0.0 && cfg.head_churn_prob <= 1.0,
+                "head_churn_prob outside [0,1]");
+  HINET_REQUIRE(
+      cfg.backbone_rewire_prob >= 0.0 && cfg.backbone_rewire_prob <= 1.0,
+      "backbone_rewire_prob outside [0,1]");
+}
 
 /// The backbone layout: heads threaded on a chain with L-1 relay gateways
 /// between consecutive heads.  Persisted across phases unless a rewire is
@@ -141,62 +160,232 @@ void add_churn_edges(Graph& g, std::size_t count, Rng& rng) {
   }
 }
 
-}  // namespace
+void save_rng(ByteWriter& w, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) w.u64(word);
+}
 
-HiNetTrace make_hinet_trace(const HiNetConfig& cfg) {
-  HINET_REQUIRE(cfg.nodes >= 1, "need nodes");
-  HINET_REQUIRE(cfg.heads >= 1, "need at least one head");
-  HINET_REQUIRE(cfg.phase_length >= 1, "T must be >= 1");
-  HINET_REQUIRE(cfg.phases >= 1, "need at least one phase");
-  HINET_REQUIRE(cfg.hop_l >= 1, "L must be >= 1");
-  HINET_REQUIRE(cfg.nodes >= hinet_min_nodes(cfg.heads, cfg.hop_l),
-                "node budget too small for heads + backbone relays");
-  HINET_REQUIRE(
-      cfg.reaffiliation_prob >= 0.0 && cfg.reaffiliation_prob <= 1.0,
-      "reaffiliation_prob outside [0,1]");
-  HINET_REQUIRE(cfg.head_churn_prob >= 0.0 && cfg.head_churn_prob <= 1.0,
-                "head_churn_prob outside [0,1]");
-  HINET_REQUIRE(
-      cfg.backbone_rewire_prob >= 0.0 && cfg.backbone_rewire_prob <= 1.0,
-      "backbone_rewire_prob outside [0,1]");
+void load_rng(ByteReader& r, Rng& rng) {
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t& word : s) word = r.u64();
+  rng.set_state(s);
+}
 
-  Rng rng(cfg.seed);
-  Rng layout_rng = rng.fork();
-  Rng churn_rng = rng.fork();
-  Rng head_rng = rng.fork();
+void save_node_vec(ByteWriter& w, const std::vector<NodeId>& v) {
+  w.u64(v.size());
+  for (NodeId x : v) w.u32(x);
+}
 
-  // Initial head set: random distinct nodes.
-  std::vector<NodeId> head_set;
-  for (std::size_t idx : head_rng.sample(cfg.nodes, cfg.heads)) {
-    head_set.push_back(static_cast<NodeId>(idx));
+std::vector<NodeId> load_node_vec(ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  // Validate before allocating (same contract as ByteReader::vec_u64): a
+  // corrupt count must be a typed error, not a multi-GiB zero-fill.
+  if (count > r.remaining() / 4) {
+    throw IoError("HiNet generator state corrupt: node vector exceeds payload");
   }
-  std::sort(head_set.begin(), head_set.end());
+  std::vector<NodeId> v(count);
+  for (NodeId& x : v) x = r.u32();
+  return v;
+}
 
-  std::vector<ClusterId> prev_head_of(cfg.nodes, kNoCluster);
-  std::vector<char> ever_head(cfg.nodes, 0);
-  for (NodeId h : head_set) ever_head[h] = 1;
+void save_view(ByteWriter& w, const HierarchyView& view) {
+  const std::size_t n = view.node_count();
+  w.u64(n);
+  for (NodeId v = 0; v < n; ++v) {
+    w.u8(static_cast<std::uint8_t>(view.role(v)));
+    w.u32(view.cluster_of(v));
+  }
+}
 
-  std::vector<Graph> graphs;
-  std::vector<HierarchyView> views;
-  graphs.reserve(cfg.phases * cfg.phase_length);
-  views.reserve(cfg.phases * cfg.phase_length);
+HierarchyView load_view(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  // Each node stores a u8 role + u32 cluster, so a count past remaining()/5
+  // cannot be honest — check before the two vector(n) allocations.
+  if (n > r.remaining() / 5) {
+    throw IoError("hierarchy view state corrupt: node count exceeds payload");
+  }
+  std::vector<NodeRole> roles(n);
+  std::vector<ClusterId> clusters(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(NodeRole::kMember)) {
+      throw IoError("hierarchy view state corrupt: unknown role");
+    }
+    roles[v] = static_cast<NodeRole>(raw);
+    clusters[v] = r.u32();
+  }
+  // Rebuild through the public mutators (heads first: set_member checks
+  // that the target is already a head).
+  HierarchyView view(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (roles[v] == NodeRole::kHead) view.set_head(v);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    switch (roles[v]) {
+      case NodeRole::kHead:
+        break;
+      case NodeRole::kGateway:
+        if (clusters[v] == kNoCluster) {
+          view.set_unaffiliated_gateway(v);
+        } else {
+          view.set_member(v, clusters[v], /*gateway=*/true);
+        }
+        break;
+      case NodeRole::kMember:
+        if (clusters[v] != kNoCluster) view.set_member(v, clusters[v]);
+        break;
+    }
+  }
+  return view;
+}
 
-  HiNetTraceStats stats;
-  double member_round_sum = 0.0;
-  BackboneLayout layout;
+/// The phase-granular generator state machine: everything the eager trace
+/// builder did per phase, factored out so the materialized and streaming
+/// paths run the identical draw sequence.  After reset() (or construction)
+/// the driver holds phase 0's plan; advance() moves to the next phase.
+class PhaseDriver {
+ public:
+  explicit PhaseDriver(const HiNetConfig& cfg) : cfg_(cfg) {
+    validate_config(cfg);
+    reset();
+  }
 
-  for (std::size_t phase = 0; phase < cfg.phases; ++phase) {
+  void reset() {
+    Rng rng(cfg_.seed);
+    layout_rng_ = rng.fork();
+    churn_rng_ = rng.fork();
+    head_rng_ = rng.fork();
+
+    // Initial head set: random distinct nodes.
+    head_set_.clear();
+    for (std::size_t idx : head_rng_.sample(cfg_.nodes, cfg_.heads)) {
+      head_set_.push_back(static_cast<NodeId>(idx));
+    }
+    std::sort(head_set_.begin(), head_set_.end());
+
+    prev_head_of_.assign(cfg_.nodes, kNoCluster);
+    ever_head_.assign(cfg_.nodes, 0);
+    for (NodeId h : head_set_) ever_head_[h] = 1;
+
+    stats_ = HiNetTraceStats{};
+    phase_ = 0;
+    plan_current(/*first=*/true);
+  }
+
+  /// Plans the next phase (head churn, backbone rewire, affiliation).
+  void advance() {
+    ++phase_;
+    HINET_REQUIRE(phase_ < cfg_.phases, "advance() past the last phase");
+    plan_current(/*first=*/false);
+  }
+
+  std::size_t phase() const { return phase_; }
+  const Graph& stable() const { return plan_.stable; }
+  const HierarchyView& view() const { return plan_.view; }
+
+  /// One realized round: the phase's stable graph plus ephemeral churn.
+  Graph realize_round() {
+    Graph g = plan_.stable;
+    add_churn_edges(g, cfg_.churn_edges, churn_rng_);
+    return g;
+  }
+
+  /// Phase-level statistics accumulated so far; theta is finalized from
+  /// the ever-head set on read.  Per-round member statistics are the
+  /// caller's (they are plan metadata times phase_length, no draws).
+  HiNetTraceStats stats() const {
+    HiNetTraceStats s = stats_;
+    s.theta = static_cast<std::size_t>(
+        std::count(ever_head_.begin(), ever_head_.end(), char(1)));
+    return s;
+  }
+
+  void save_state(ByteWriter& w) const {
+    save_rng(w, layout_rng_);
+    save_rng(w, churn_rng_);
+    save_rng(w, head_rng_);
+    w.u64(phase_);
+    save_node_vec(w, head_set_);
+    save_node_vec(w, prev_head_of_);
+    save_node_vec(w, layout_.chain);
+    save_node_vec(w, layout_.gateways);
+    save_node_vec(w, plan_.head_of);
+    save_graph(w, plan_.stable);
+    save_view(w, plan_.view);
+  }
+
+  void load_state(ByteReader& r) {
+    load_rng(r, layout_rng_);
+    load_rng(r, churn_rng_);
+    load_rng(r, head_rng_);
+    phase_ = r.u64();
+    if (phase_ >= cfg_.phases) {
+      throw IoError("HiNet generator state corrupt: phase out of range");
+    }
+    head_set_ = load_node_vec(r);
+    prev_head_of_ = load_node_vec(r);
+    layout_.chain = load_node_vec(r);
+    layout_.gateways = load_node_vec(r);
+    plan_.head_of = load_node_vec(r);
+    plan_.stable = load_graph(r, cfg_.nodes);
+    plan_.view = load_view(r);
+    if (prev_head_of_.size() != cfg_.nodes ||
+        plan_.head_of.size() != cfg_.nodes ||
+        plan_.view.node_count() != cfg_.nodes ||
+        plan_.stable.node_count() != cfg_.nodes) {
+      throw IoError("HiNet generator state corrupt: node count mismatch");
+    }
+    // Every stored node id is used as an index downstream (head churn's
+    // is_head scratch, backbone planning, affiliation targets), so an
+    // out-of-range id from a corrupt payload must be a typed error here,
+    // not UB later.
+    if (head_set_.size() != cfg_.heads) {
+      throw IoError("HiNet generator state corrupt: head set size mismatch");
+    }
+    const auto check_ids = [&](const std::vector<NodeId>& ids,
+                               bool allow_no_cluster) {
+      for (const NodeId x : ids) {
+        if (x >= cfg_.nodes && !(allow_no_cluster && x == kNoCluster)) {
+          throw IoError("HiNet generator state corrupt: node id out of range");
+        }
+      }
+    };
+    check_ids(head_set_, false);
+    check_ids(layout_.chain, false);
+    check_ids(layout_.gateways, false);
+    check_ids(prev_head_of_, true);
+    check_ids(plan_.head_of, true);
+    // plan_phase walks (chain - 1) * (L - 1) relays off the gateway list,
+    // so the layout's sizes must be exactly what plan_backbone produces.
+    if (layout_.chain.size() != cfg_.heads ||
+        layout_.gateways.size() !=
+            (cfg_.heads - 1) * (static_cast<std::size_t>(cfg_.hop_l) - 1)) {
+      throw IoError("HiNet generator state corrupt: backbone layout size");
+    }
+    for (std::size_t i = 1; i < head_set_.size(); ++i) {
+      if (head_set_[i - 1] >= head_set_[i]) {
+        throw IoError("HiNet generator state corrupt: head set not sorted");
+      }
+    }
+    // Restored mid-run state carries no statistics: stats are a whole-
+    // trace property, precomputed by hinet_trace_stats and unaffected by
+    // where a checkpoint cut the run.
+    ever_head_.assign(cfg_.nodes, 0);
+    stats_ = HiNetTraceStats{};
+  }
+
+ private:
+  void plan_current(bool first) {
     // Head churn at phase boundaries (never in ∞-stable mode).
     bool heads_changed = false;
-    if (phase > 0 && !cfg.stable_heads && cfg.head_churn_prob > 0.0) {
-      for (NodeId& h : head_set) {
-        if (!head_rng.bernoulli(cfg.head_churn_prob)) continue;
+    if (!first && !cfg_.stable_heads && cfg_.head_churn_prob > 0.0) {
+      for (NodeId& h : head_set_) {
+        if (!head_rng_.bernoulli(cfg_.head_churn_prob)) continue;
         // Swap head role with a random non-head node.
-        std::vector<char> is_head(cfg.nodes, 0);
-        for (NodeId x : head_set) is_head[x] = 1;
+        std::vector<char> is_head(cfg_.nodes, 0);
+        for (NodeId x : head_set_) is_head[x] = 1;
         NodeId replacement = h;
         for (int attempt = 0; attempt < 64; ++attempt) {
-          const auto cand = static_cast<NodeId>(head_rng.below(cfg.nodes));
+          const auto cand = static_cast<NodeId>(head_rng_.below(cfg_.nodes));
           if (!is_head[cand]) {
             replacement = cand;
             break;
@@ -204,35 +393,40 @@ HiNetTrace make_hinet_trace(const HiNetConfig& cfg) {
         }
         if (replacement != h) {
           h = replacement;
-          ever_head[replacement] = 1;
+          ever_head_[replacement] = 1;
           heads_changed = true;
         }
       }
       if (heads_changed) {
-        std::sort(head_set.begin(), head_set.end());
-        ++stats.head_changes;
+        std::sort(head_set_.begin(), head_set_.end());
+        ++stats_.head_changes;
       }
     }
 
-    if (phase == 0 || heads_changed ||
-        layout_rng.bernoulli(cfg.backbone_rewire_prob)) {
-      layout = plan_backbone(cfg, head_set, layout_rng);
+    if (first || heads_changed ||
+        layout_rng_.bernoulli(cfg_.backbone_rewire_prob)) {
+      layout_ = plan_backbone(cfg_, head_set_, layout_rng_);
     }
-    PhasePlan plan = plan_phase(cfg, layout, prev_head_of, layout_rng,
-                                &stats.reaffiliation_events);
-    prev_head_of = plan.head_of;
-
-    for (std::size_t r = 0; r < cfg.phase_length; ++r) {
-      Graph g = plan.stable;
-      add_churn_edges(g, cfg.churn_edges, churn_rng);
-      graphs.push_back(std::move(g));
-      views.push_back(plan.view);
-      member_round_sum += static_cast<double>(plan.view.member_count());
-    }
+    plan_ = plan_phase(cfg_, layout_, prev_head_of_, layout_rng_,
+                       &stats_.reaffiliation_events);
+    prev_head_of_ = plan_.head_of;
   }
 
-  stats.theta = static_cast<std::size_t>(
-      std::count(ever_head.begin(), ever_head.end(), char(1)));
+  HiNetConfig cfg_;
+  Rng layout_rng_;
+  Rng churn_rng_;
+  Rng head_rng_;
+  std::vector<NodeId> head_set_;
+  std::vector<ClusterId> prev_head_of_;
+  std::vector<char> ever_head_;
+  BackboneLayout layout_;
+  PhasePlan plan_;
+  std::size_t phase_ = 0;
+  HiNetTraceStats stats_;
+};
+
+HiNetTraceStats finalize_stats(const HiNetConfig& cfg, HiNetTraceStats stats,
+                               double member_round_sum) {
   const auto total_rounds = static_cast<double>(cfg.phases * cfg.phase_length);
   stats.mean_members = member_round_sum / total_rounds;
   stats.mean_reaffiliations =
@@ -240,6 +434,165 @@ HiNetTrace make_hinet_trace(const HiNetConfig& cfg) {
           ? static_cast<double>(stats.reaffiliation_events) /
                 stats.mean_members
           : 0.0;
+  return stats;
+}
+
+/// Shared state of a streaming HiNet trace: the phase driver plus a ring
+/// of realized {graph, view} rounds.  The topology and hierarchy adapters
+/// below hold one core between them, so the engine's per-round
+/// graph_at/hierarchy_at pair costs one synthesis, not two.
+class HiNetStreamCore {
+ public:
+  HiNetStreamCore(const HiNetConfig& cfg, std::size_t window)
+      : cfg_(cfg), driver_(cfg), horizon_(cfg.phases * cfg.phase_length) {
+    HINET_REQUIRE(window >= 1, "ring window must hold at least one round");
+    ring_.resize(std::min(window, horizon_));
+  }
+
+  std::size_t node_count() const { return cfg_.nodes; }
+  std::size_t horizon() const { return horizon_; }
+  std::size_t rewinds() const { return rewinds_; }
+
+  const Graph& graph_at(Round r) { return slot_at(r).graph; }
+  const HierarchyView& view_at(Round r) { return slot_at(r).view; }
+
+  void save_state(ByteWriter& w) const {
+    w.u64(frontier_);
+    ByteWriter dw;
+    driver_.save_state(dw);
+    w.blob(dw.buffer());
+  }
+
+  void load_state(ByteReader& r) {
+    const std::uint64_t stored_frontier = r.u64();
+    if (stored_frontier > horizon_) {
+      throw IoError(
+          "HiNet stream state corrupt: frontier is past the horizon");
+    }
+    ByteReader dr(r.blob(), "HiNet generator state");
+    driver_.load_state(dr);
+    dr.expect_done();
+    frontier_ = stored_frontier;
+    resident_begin_ = stored_frontier;
+    for (Slot& s : ring_) s = Slot{};
+  }
+
+ private:
+  struct Slot {
+    Graph graph;
+    HierarchyView view;
+  };
+
+  Slot& slot_at(Round r) {
+    if (r >= horizon_) r = horizon_ - 1;  // repeat-final-round convention
+    const std::size_t w = ring_.size();
+    if (r < frontier_) {
+      if (r >= resident_begin_ && r + w >= frontier_) return ring_[r % w];
+      ++rewinds_;
+      driver_.reset();
+      frontier_ = 0;
+      resident_begin_ = 0;
+    }
+    while (frontier_ <= r) {
+      const std::size_t phase = frontier_ / cfg_.phase_length;
+      while (driver_.phase() < phase) driver_.advance();
+      Slot& slot = ring_[frontier_ % w];
+      slot.graph = driver_.realize_round();
+      slot.view = driver_.view();
+      ++frontier_;
+    }
+    return ring_[r % w];
+  }
+
+  HiNetConfig cfg_;
+  PhaseDriver driver_;
+  std::size_t horizon_;
+  Round frontier_ = 0;
+  Round resident_begin_ = 0;
+  std::size_t rewinds_ = 0;
+  std::vector<Slot> ring_;
+};
+
+class HiNetStreamTopology final : public DynamicNetwork,
+                                  public TraceStateSource {
+ public:
+  explicit HiNetStreamTopology(std::shared_ptr<HiNetStreamCore> core)
+      : core_(std::move(core)) {}
+
+  std::size_t node_count() const override { return core_->node_count(); }
+  const Graph& graph_at(Round r) override { return core_->graph_at(r); }
+
+  void save_trace_state(ByteWriter& w) const override {
+    core_->save_state(w);
+  }
+  void restore_trace_state(ByteReader& r) override { core_->load_state(r); }
+
+ private:
+  std::shared_ptr<HiNetStreamCore> core_;
+};
+
+class HiNetStreamHierarchy final : public HierarchyProvider {
+ public:
+  explicit HiNetStreamHierarchy(std::shared_ptr<HiNetStreamCore> core)
+      : core_(std::move(core)) {}
+
+  std::size_t node_count() const override { return core_->node_count(); }
+  const HierarchyView& hierarchy_at(Round r) override {
+    return core_->view_at(r);
+  }
+
+ private:
+  std::shared_ptr<HiNetStreamCore> core_;
+};
+
+}  // namespace
+
+HiNetTraceStats hinet_trace_stats(const HiNetConfig& cfg) {
+  PhaseDriver driver(cfg);
+  double member_round_sum = 0.0;
+  for (std::size_t phase = 0;; ++phase) {
+    member_round_sum += static_cast<double>(driver.view().member_count()) *
+                        static_cast<double>(cfg.phase_length);
+    if (phase + 1 >= cfg.phases) break;
+    driver.advance();
+  }
+  return finalize_stats(cfg, driver.stats(), member_round_sum);
+}
+
+HiNetStream make_hinet_stream(const HiNetConfig& cfg, std::size_t window) {
+  HiNetStream out;
+  // The dry planning pass replays exactly the layout/head draws the live
+  // stream will make (the churn stream is an independent fork), so the
+  // stats are those of the realized trace.
+  out.stats = hinet_trace_stats(cfg);
+  out.rounds = cfg.phases * cfg.phase_length;
+  auto core = std::make_shared<HiNetStreamCore>(cfg, window);
+  out.topology = std::make_unique<HiNetStreamTopology>(core);
+  out.hierarchy = std::make_unique<HiNetStreamHierarchy>(std::move(core));
+  return out;
+}
+
+HiNetTrace make_hinet_trace(const HiNetConfig& cfg) {
+  PhaseDriver driver(cfg);
+
+  std::vector<Graph> graphs;
+  std::vector<HierarchyView> views;
+  graphs.reserve(cfg.phases * cfg.phase_length);
+  views.reserve(cfg.phases * cfg.phase_length);
+
+  double member_round_sum = 0.0;
+  for (std::size_t phase = 0;; ++phase) {
+    for (std::size_t r = 0; r < cfg.phase_length; ++r) {
+      graphs.push_back(driver.realize_round());
+      views.push_back(driver.view());
+      member_round_sum += static_cast<double>(driver.view().member_count());
+    }
+    if (phase + 1 >= cfg.phases) break;
+    driver.advance();
+  }
+
+  const HiNetTraceStats stats =
+      finalize_stats(cfg, driver.stats(), member_round_sum);
 
   // No whole-trace re-validation here: every phase already passed
   // plan.view.validate(plan.stable) at construction, each round's view IS

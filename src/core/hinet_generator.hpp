@@ -66,7 +66,35 @@ struct HiNetTrace {
 
 /// Generates a trace; throws PreconditionError when the node budget cannot
 /// host `heads` heads plus the (heads-1)*(hop_l-1) backbone gateways.
+/// This is the materialized special case (every round resident); at scale
+/// prefer make_hinet_stream, which shares the same phase driver and emits
+/// byte-identical rounds lazily.
 HiNetTrace make_hinet_trace(const HiNetConfig& cfg);
+
+/// A lazily synthesised (T, L)-HiNet trace: topology and hierarchy share
+/// one phase driver, so a trace at n = 10^5 is never fully resident — only
+/// the current phase plan plus a small ring of realized rounds.  The
+/// topology additionally implements TraceStateSource, so Engine snapshots
+/// carry the generator RNG state and resume without replaying the prefix.
+struct HiNetStream {
+  std::unique_ptr<DynamicNetwork> topology;
+  std::unique_ptr<HierarchyProvider> hierarchy;
+  HiNetTraceStats stats;     ///< from a planning-only dry pass (exact)
+  std::size_t rounds = 0;    ///< nominal horizon: phases * phase_length
+};
+
+/// Builds a streaming (T, L)-HiNet trace.  `window` is the ring of
+/// realized rounds kept resident (>= the engine's needs at 2; pass the
+/// monitor's window length to let aligned-window certification re-read a
+/// whole phase without replays).  Graphs and hierarchy views are
+/// byte-identical, round by round, to make_hinet_trace(cfg).
+HiNetStream make_hinet_stream(const HiNetConfig& cfg, std::size_t window = 2);
+
+/// Dynamics statistics of the trace cfg would generate, from a
+/// planning-only dry pass: exact and O(phases · n) with no per-round graph
+/// materialization (the per-round churn stream is independent of the
+/// planning streams, so skipping it cannot perturb the plans).
+HiNetTraceStats hinet_trace_stats(const HiNetConfig& cfg);
 
 /// Smallest node count that can host the requested backbone.
 std::size_t hinet_min_nodes(std::size_t heads, int hop_l);

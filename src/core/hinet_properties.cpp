@@ -74,11 +74,17 @@ PropertyResult check_stable_hierarchy(Ctvg& g, std::size_t rounds,
 
 std::optional<Graph> stable_head_subgraph(Ctvg& g, Round start,
                                           std::size_t t) {
-  Graph inter = g.graph_at(start);
+  return stable_head_subgraph(g.topology(), g.hierarchy(), start, t);
+}
+
+std::optional<Graph> stable_head_subgraph(DynamicNetwork& net,
+                                          HierarchyProvider& hier, Round start,
+                                          std::size_t t) {
+  Graph inter = net.graph_at(start);
   for (std::size_t i = 1; i < t; ++i) {
-    inter = Graph::intersection(inter, g.graph_at(start + i));
+    inter = Graph::intersection(inter, net.graph_at(start + i));
   }
-  const auto heads = g.hierarchy_at(start).heads();
+  const auto heads = hier.hierarchy_at(start).heads();
   if (heads.empty()) return inter;  // vacuously connected head set
   const auto comp = inter.components();
   const std::uint32_t c0 = comp[heads.front()];

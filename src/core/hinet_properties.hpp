@@ -60,6 +60,15 @@ PropertyResult check_head_connectivity(Ctvg& g, std::size_t rounds,
 /// Returns nullopt when the heads do not share a component.
 std::optional<Graph> stable_head_subgraph(Ctvg& g, Round start, std::size_t t);
 
+/// Streaming-friendly form over any topology/hierarchy pair — e.g. the
+/// lazily synthesised views of make_hinet_stream, or a FaultyNetwork over
+/// one.  Consumes rounds [start, start + t) strictly forward; when the
+/// pair streams with a ring window >= t the whole phase stays resident and
+/// no replay is triggered.
+std::optional<Graph> stable_head_subgraph(DynamicNetwork& net,
+                                          HierarchyProvider& hier, Round start,
+                                          std::size_t t);
+
 /// Definition 6 (L-hop Cluster Head Connectivity) measured in round r:
 /// the bottleneck backbone distance between heads (see
 /// measure_l_hop_connectivity).  -1 when heads are backbone-disconnected.

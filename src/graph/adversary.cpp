@@ -1,6 +1,7 @@
 #include "graph/adversary.hpp"
 
 #include "graph/generators.hpp"
+#include "util/binary_io.hpp"
 
 namespace hinet {
 
@@ -33,37 +34,82 @@ Graph make_backbone(std::size_t nodes, bool path_backbone, Rng& rng) {
   return gen::random_tree(nodes, rng);
 }
 
-GraphSequence generate(const AdversaryConfig& cfg, bool path_backbone) {
-  HINET_REQUIRE(cfg.nodes >= 1, "adversary needs nodes");
-  HINET_REQUIRE(cfg.interval >= 1, "T must be >= 1");
-  HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
-  Rng rng(cfg.seed);
-  Rng backbone_rng = rng.fork();
-  Rng churn_rng = rng.fork();
+void save_rng(ByteWriter& w, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) w.u64(word);
+}
 
+void load_rng(ByteReader& r, Rng& rng) {
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t& word : s) word = r.u64();
+  rng.set_state(s);
+}
+
+}  // namespace
+
+TIntervalNetwork::TIntervalNetwork(const AdversaryConfig& cfg,
+                                   bool path_backbone, std::size_t window)
+    : StreamingNetwork(cfg.nodes, cfg.rounds, window),
+      cfg_(cfg),
+      path_backbone_(path_backbone) {
+  HINET_REQUIRE(cfg.interval >= 1, "T must be >= 1");
+  reset_generator();
+}
+
+void TIntervalNetwork::reset_generator() {
+  Rng rng(cfg_.seed);
+  backbone_rng_ = rng.fork();
+  churn_rng_ = rng.fork();
+  cur_window_ = 0;
   // One backbone per aligned window of T rounds, plus one beyond the end.
   // T-interval connectivity quantifies over *sliding* windows, so a window
   // straddling two aligned windows must still share a stable connected
   // spanning subgraph.  We achieve that by giving every round of window w
   // the edges of both backbone_w and backbone_{w+1}: any sliding window
   // [i, i+T) touches at most aligned windows w and w+1, and all of its
-  // rounds then contain backbone_{w+1}.
-  const std::size_t windows = (cfg.rounds + cfg.interval - 1) / cfg.interval;
-  std::vector<Graph> backbones;
-  backbones.reserve(windows + 1);
-  for (std::size_t w = 0; w <= windows; ++w) {
-    backbones.push_back(make_backbone(cfg.nodes, path_backbone, backbone_rng));
-  }
+  // rounds then contain backbone_{w+1}.  Lazily generated: only the two
+  // live backbones are ever resident.
+  backbone_cur_ = make_backbone(cfg_.nodes, path_backbone_, backbone_rng_);
+  backbone_next_ = make_backbone(cfg_.nodes, path_backbone_, backbone_rng_);
+}
 
-  std::vector<Graph> rounds;
-  rounds.reserve(cfg.rounds);
-  for (Round r = 0; r < cfg.rounds; ++r) {
-    const std::size_t w = r / cfg.interval;
-    Graph g = Graph::union_of(backbones[w], backbones[w + 1]);
-    add_churn(g, cfg.churn_edges, churn_rng);
-    rounds.push_back(std::move(g));
+Graph TIntervalNetwork::synthesize_next() {
+  const std::size_t w = frontier() / cfg_.interval;
+  // Rounds are synthesised monotonically, so the window index advances by
+  // at most one per call and the backbone RNG draws in exactly the eager
+  // generator's order (w = 0, 1, 2, ... each drawn once).
+  if (w > cur_window_) {
+    backbone_cur_ = std::move(backbone_next_);
+    backbone_next_ = make_backbone(cfg_.nodes, path_backbone_, backbone_rng_);
+    ++cur_window_;
   }
-  return GraphSequence(std::move(rounds));
+  Graph g = Graph::union_of(backbone_cur_, backbone_next_);
+  add_churn(g, cfg_.churn_edges, churn_rng_);
+  return g;
+}
+
+void TIntervalNetwork::save_generator_state(ByteWriter& w) const {
+  save_rng(w, backbone_rng_);
+  save_rng(w, churn_rng_);
+  w.u64(cur_window_);
+  save_graph(w, backbone_cur_);
+  save_graph(w, backbone_next_);
+}
+
+void TIntervalNetwork::load_generator_state(ByteReader& r) {
+  load_rng(r, backbone_rng_);
+  load_rng(r, churn_rng_);
+  cur_window_ = r.u64();
+  backbone_cur_ = load_graph(r, node_count());
+  backbone_next_ = load_graph(r, node_count());
+}
+
+namespace {
+
+GraphSequence generate(const AdversaryConfig& cfg, bool path_backbone) {
+  HINET_REQUIRE(cfg.nodes >= 1, "adversary needs nodes");
+  HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
+  TIntervalNetwork net(cfg, path_backbone);
+  return materialize(net, cfg.rounds);
 }
 
 }  // namespace

@@ -22,7 +22,29 @@ struct MarkovianConfig {
   std::uint64_t seed = 1;
 };
 
-/// Pre-generates an EMDG trace of cfg.rounds rounds.
+/// Streaming EMDG provider: synthesises each round from the chain state
+/// (the previous round's graph + the RNG stream) with only the ring
+/// window resident.  Byte-identical, round by round, to the materialized
+/// trace from make_edge_markovian_trace with the same config.
+class EdgeMarkovianNetwork final : public StreamingNetwork {
+ public:
+  explicit EdgeMarkovianNetwork(
+      const MarkovianConfig& cfg,
+      std::size_t window = StreamingNetwork::kDefaultWindow);
+
+ private:
+  Graph synthesize_next() override;
+  void reset_generator() override;
+  void save_generator_state(ByteWriter& w) const override;
+  void load_generator_state(ByteReader& r) override;
+
+  MarkovianConfig cfg_;
+  Rng rng_;
+  Graph prev_;  ///< chain state: the last synthesized round
+};
+
+/// Pre-generates an EMDG trace of cfg.rounds rounds (the materialized
+/// special case — O(Γ·n) resident; prefer EdgeMarkovianNetwork at scale).
 GraphSequence make_edge_markovian_trace(const MarkovianConfig& cfg);
 
 /// Expected stationary edge density p / (p + q) of the chain; exposed so

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <utility>
 
+#include "util/binary_io.hpp"
+
 namespace hinet {
 
 namespace {
@@ -61,109 +63,272 @@ void manhattan_pick_next(ManhattanState& s, std::size_t streets, Rng& rng) {
   s.progress = 0.0;
 }
 
-std::vector<std::vector<gen::Point2D>> simulate_positions(
-    const MobilityConfig& cfg, Rng& rng) {
-  std::vector<std::vector<gen::Point2D>> all;
-  all.reserve(cfg.rounds);
-
-  if (cfg.model == MobilityModel::kManhattan) {
-    HINET_REQUIRE(cfg.streets >= 2, "Manhattan grid needs >= 2 streets");
-    const double segment = 1.0 / static_cast<double>(cfg.streets - 1);
-    std::vector<ManhattanState> st(cfg.nodes);
-    std::vector<gen::Point2D> pos(cfg.nodes);
-    for (std::size_t i = 0; i < cfg.nodes; ++i) {
-      st[i].to_x = rng.below(cfg.streets);
-      st[i].to_y = rng.below(cfg.streets);
-      // speed is expressed in unit-square distance; convert to segment
-      // fraction per round.
-      st[i].speed =
-          rng.uniform_real(cfg.min_speed, cfg.max_speed) / segment;
-      manhattan_pick_next(st[i], cfg.streets, rng);
-      pos[i] = manhattan_position(st[i], cfg.streets);
-    }
-    all.push_back(pos);
-    for (Round r = 1; r < cfg.rounds; ++r) {
-      for (std::size_t i = 0; i < cfg.nodes; ++i) {
-        st[i].progress += st[i].speed;
-        while (st[i].progress >= 1.0) {
-          const double excess = st[i].progress - 1.0;
-          manhattan_pick_next(st[i], cfg.streets, rng);
-          st[i].progress = excess;
-        }
-        pos[i] = manhattan_position(st[i], cfg.streets);
-      }
-      all.push_back(pos);
-    }
-    return all;
-  }
-
-  std::vector<gen::Point2D> pos = gen::random_points(cfg.nodes, rng);
-  all.push_back(pos);
-
-  if (cfg.model == MobilityModel::kRandomWaypoint) {
-    std::vector<WaypointState> st(cfg.nodes);
-    for (auto& s : st) {
-      s.target = {rng.uniform01(), rng.uniform01()};
-      s.speed = rng.uniform_real(cfg.min_speed, cfg.max_speed);
-    }
-    for (Round r = 1; r < cfg.rounds; ++r) {
-      for (std::size_t i = 0; i < cfg.nodes; ++i) {
-        auto& p = pos[i];
-        auto& s = st[i];
-        if (s.pause_left > 0) {
-          --s.pause_left;
-          continue;
-        }
-        const double d = dist(p, s.target);
-        if (d <= s.speed) {
-          p = s.target;
-          s.pause_left = cfg.pause_rounds;
-          s.target = {rng.uniform01(), rng.uniform01()};
-          s.speed = rng.uniform_real(cfg.min_speed, cfg.max_speed);
-        } else {
-          p.x += (s.target.x - p.x) / d * s.speed;
-          p.y += (s.target.y - p.y) / d * s.speed;
-        }
-      }
-      all.push_back(pos);
-    }
-  } else {  // RandomWalk
-    for (Round r = 1; r < cfg.rounds; ++r) {
-      for (std::size_t i = 0; i < cfg.nodes; ++i) {
-        const double step = rng.uniform_real(cfg.min_speed, cfg.max_speed);
-        const double angle = rng.uniform_real(0.0, 2.0 * std::numbers::pi);
-        double dx = step * std::cos(angle);
-        double dy = step * std::sin(angle);
-        pos[i].x += dx;
-        pos[i].y += dy;
-        reflect_into_unit_square(pos[i].x, dx);
-        reflect_into_unit_square(pos[i].y, dy);
-      }
-      all.push_back(pos);
-    }
-  }
-  return all;
+void save_rng(ByteWriter& w, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) w.u64(word);
 }
 
-GraphSequence induce_graphs(const std::vector<std::vector<gen::Point2D>>& pos,
-                            double radius) {
-  std::vector<Graph> rounds;
-  rounds.reserve(pos.size());
-  for (const auto& p : pos) rounds.push_back(gen::geometric(p, radius));
-  return GraphSequence(std::move(rounds));
+void load_rng(ByteReader& r, Rng& rng) {
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t& word : s) word = r.u64();
+  rng.set_state(s);
 }
 
 }  // namespace
 
+namespace detail {
+
+/// Advances the mobility simulation one round at a time.  Both the
+/// materialized MobilityTrace and the streaming MobilityNetwork run this
+/// stepper, so their position (and hence graph) sequences are identical
+/// draw for draw.
+class MobilityStepper {
+ public:
+  explicit MobilityStepper(const MobilityConfig& cfg) : cfg_(cfg) {
+    HINET_REQUIRE(cfg.nodes >= 1, "mobility needs nodes");
+    HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
+    HINET_REQUIRE(cfg.min_speed <= cfg.max_speed, "speed range inverted");
+    if (cfg.model == MobilityModel::kManhattan) {
+      HINET_REQUIRE(cfg.streets >= 2, "Manhattan grid needs >= 2 streets");
+    }
+    reset();
+  }
+
+  void reset() {
+    rng_.reseed(cfg_.seed);
+    round_ = 0;
+    pos_.clear();
+    waypoint_.clear();
+    manhattan_.clear();
+  }
+
+  /// Positions of the next round (round 0 first); advances the state.
+  const std::vector<gen::Point2D>& step() {
+    if (round_ == 0) {
+      init_round_zero();
+    } else {
+      advance_one_round();
+    }
+    ++round_;
+    return pos_;
+  }
+
+  const std::vector<gen::Point2D>& positions() const { return pos_; }
+
+  void save_state(ByteWriter& w) const {
+    save_rng(w, rng_);
+    w.u64(round_);
+    w.u64(pos_.size());
+    for (const gen::Point2D& p : pos_) {
+      w.f64(p.x);
+      w.f64(p.y);
+    }
+    w.u64(waypoint_.size());
+    for (const WaypointState& s : waypoint_) {
+      w.f64(s.target.x);
+      w.f64(s.target.y);
+      w.f64(s.speed);
+      w.u64(s.pause_left);
+    }
+    w.u64(manhattan_.size());
+    for (const ManhattanState& s : manhattan_) {
+      w.u64(s.from_x);
+      w.u64(s.from_y);
+      w.u64(s.to_x);
+      w.u64(s.to_y);
+      w.f64(s.progress);
+      w.f64(s.speed);
+    }
+  }
+
+  void load_state(ByteReader& r) {
+    load_rng(r, rng_);
+    round_ = r.u64();
+    pos_.resize(check_count(r.u64(), "positions"));
+    for (gen::Point2D& p : pos_) {
+      p.x = check_f64(r.f64(), 1.0, "position");
+      p.y = check_f64(r.f64(), 1.0, "position");
+    }
+    waypoint_.resize(check_count(r.u64(), "waypoint states"));
+    for (WaypointState& s : waypoint_) {
+      s.target.x = check_f64(r.f64(), 1.0, "waypoint target");
+      s.target.y = check_f64(r.f64(), 1.0, "waypoint target");
+      s.speed = check_f64(r.f64(), cfg_.max_speed, "waypoint speed");
+      s.pause_left = r.u64();
+    }
+    // Manhattan speeds are segment fractions per round, so the legit
+    // ceiling is max_speed / segment; progress stays below 1 between
+    // rounds.  Bounding both here keeps the advance loop's iteration
+    // count finite even for adversarial payloads.
+    const double segments = static_cast<double>(cfg_.streets - 1);
+    manhattan_.resize(check_count(r.u64(), "Manhattan states"));
+    for (ManhattanState& s : manhattan_) {
+      s.from_x = check_street(r.u64(), "Manhattan waypoint");
+      s.from_y = check_street(r.u64(), "Manhattan waypoint");
+      s.to_x = check_street(r.u64(), "Manhattan waypoint");
+      s.to_y = check_street(r.u64(), "Manhattan waypoint");
+      s.progress = check_f64(r.f64(), 1.0, "Manhattan progress");
+      s.speed =
+          check_f64(r.f64(), cfg_.max_speed * segments, "Manhattan speed");
+    }
+  }
+
+ private:
+  std::size_t check_count(std::uint64_t count, const char* what) const {
+    if (count != 0 && count != cfg_.nodes) {
+      throw IoError(std::string("mobility state corrupt: ") + what +
+                    " count mismatches the node count");
+    }
+    return count;
+  }
+
+  /// Rejects NaN and values outside [0, hi] (the negated comparison is what
+  /// catches NaN) so corrupt floats cannot drive unbounded movement loops.
+  static double check_f64(double v, double hi, const char* what) {
+    if (!(v >= 0.0 && v <= hi)) {
+      throw IoError(std::string("mobility state corrupt: ") + what +
+                    " out of range");
+    }
+    return v;
+  }
+
+  std::uint64_t check_street(std::uint64_t v, const char* what) const {
+    if (v >= cfg_.streets) {
+      throw IoError(std::string("mobility state corrupt: ") + what +
+                    " off the grid");
+    }
+    return v;
+  }
+
+  void init_round_zero() {
+    if (cfg_.model == MobilityModel::kManhattan) {
+      manhattan_.assign(cfg_.nodes, ManhattanState{});
+      pos_.resize(cfg_.nodes);
+      const double segment = 1.0 / static_cast<double>(cfg_.streets - 1);
+      for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+        manhattan_[i].to_x = rng_.below(cfg_.streets);
+        manhattan_[i].to_y = rng_.below(cfg_.streets);
+        // speed is expressed in unit-square distance; convert to segment
+        // fraction per round.
+        manhattan_[i].speed =
+            rng_.uniform_real(cfg_.min_speed, cfg_.max_speed) / segment;
+        manhattan_pick_next(manhattan_[i], cfg_.streets, rng_);
+        pos_[i] = manhattan_position(manhattan_[i], cfg_.streets);
+      }
+      return;
+    }
+    pos_ = gen::random_points(cfg_.nodes, rng_);
+    if (cfg_.model == MobilityModel::kRandomWaypoint) {
+      waypoint_.assign(cfg_.nodes, WaypointState{});
+      for (auto& s : waypoint_) {
+        s.target = {rng_.uniform01(), rng_.uniform01()};
+        s.speed = rng_.uniform_real(cfg_.min_speed, cfg_.max_speed);
+      }
+    }
+  }
+
+  void advance_one_round() {
+    switch (cfg_.model) {
+      case MobilityModel::kManhattan: {
+        for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+          auto& s = manhattan_[i];
+          s.progress += s.speed;
+          while (s.progress >= 1.0) {
+            const double excess = s.progress - 1.0;
+            manhattan_pick_next(s, cfg_.streets, rng_);
+            s.progress = excess;
+          }
+          pos_[i] = manhattan_position(s, cfg_.streets);
+        }
+        return;
+      }
+      case MobilityModel::kRandomWaypoint: {
+        for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+          auto& p = pos_[i];
+          auto& s = waypoint_[i];
+          if (s.pause_left > 0) {
+            --s.pause_left;
+            continue;
+          }
+          const double d = dist(p, s.target);
+          if (d <= s.speed) {
+            p = s.target;
+            s.pause_left = cfg_.pause_rounds;
+            s.target = {rng_.uniform01(), rng_.uniform01()};
+            s.speed = rng_.uniform_real(cfg_.min_speed, cfg_.max_speed);
+          } else {
+            p.x += (s.target.x - p.x) / d * s.speed;
+            p.y += (s.target.y - p.y) / d * s.speed;
+          }
+        }
+        return;
+      }
+      case MobilityModel::kRandomWalk: {
+        for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+          const double step = rng_.uniform_real(cfg_.min_speed, cfg_.max_speed);
+          const double angle = rng_.uniform_real(0.0, 2.0 * std::numbers::pi);
+          double dx = step * std::cos(angle);
+          double dy = step * std::sin(angle);
+          pos_[i].x += dx;
+          pos_[i].y += dy;
+          reflect_into_unit_square(pos_[i].x, dx);
+          reflect_into_unit_square(pos_[i].y, dy);
+        }
+        return;
+      }
+    }
+  }
+
+  MobilityConfig cfg_;
+  Rng rng_;
+  Round round_ = 0;  ///< next round the stepper will produce
+  std::vector<gen::Point2D> pos_;
+  std::vector<WaypointState> waypoint_;
+  std::vector<ManhattanState> manhattan_;
+};
+
+}  // namespace detail
+
+MobilityNetwork::MobilityNetwork(const MobilityConfig& cfg, std::size_t window)
+    : StreamingNetwork(cfg.nodes, cfg.rounds, window),
+      cfg_(cfg),
+      stepper_(std::make_unique<detail::MobilityStepper>(cfg)) {}
+
+MobilityNetwork::~MobilityNetwork() = default;
+
+const std::vector<gen::Point2D>& MobilityNetwork::current_positions() const {
+  return stepper_->positions();
+}
+
+Graph MobilityNetwork::synthesize_next() {
+  return gen::geometric(stepper_->step(), cfg_.radius);
+}
+
+void MobilityNetwork::reset_generator() { stepper_->reset(); }
+
+void MobilityNetwork::save_generator_state(ByteWriter& w) const {
+  stepper_->save_state(w);
+}
+
+void MobilityNetwork::load_generator_state(ByteReader& r) {
+  stepper_->load_state(r);
+}
+
 MobilityTrace::MobilityTrace(const MobilityConfig& cfg)
     : positions_([&] {
-        HINET_REQUIRE(cfg.nodes >= 1, "mobility needs nodes");
-        HINET_REQUIRE(cfg.rounds >= 1, "trace needs at least one round");
-        HINET_REQUIRE(cfg.min_speed <= cfg.max_speed, "speed range inverted");
-        Rng rng(cfg.seed);
-        return simulate_positions(cfg, rng);
+        detail::MobilityStepper stepper(cfg);
+        std::vector<std::vector<gen::Point2D>> all;
+        all.reserve(cfg.rounds);
+        for (Round r = 0; r < cfg.rounds; ++r) all.push_back(stepper.step());
+        return all;
       }()),
-      network_(induce_graphs(positions_, cfg.radius)) {}
+      network_([&] {
+        std::vector<Graph> rounds;
+        rounds.reserve(positions_.size());
+        for (const auto& p : positions_) {
+          rounds.push_back(gen::geometric(p, cfg.radius));
+        }
+        return GraphSequence(std::move(rounds));
+      }()) {}
 
 const std::vector<gen::Point2D>& MobilityTrace::positions_at(Round r) const {
   if (r >= positions_.size()) return positions_.back();

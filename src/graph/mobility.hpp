@@ -10,6 +10,7 @@
 //     random direction, reflecting off the boundary.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "graph/dynamic.hpp"
@@ -40,7 +41,38 @@ struct MobilityConfig {
   std::uint64_t seed = 1;
 };
 
-/// A mobility trace: positions per round plus the induced graphs.
+namespace detail {
+class MobilityStepper;
+}  // namespace detail
+
+/// Streaming mobility provider: advances node positions one round at a
+/// time and induces each round's geometric graph on demand, so only the
+/// ring window (and one position vector) is ever resident.  Byte-identical
+/// to MobilityTrace::network() for the same config.
+class MobilityNetwork final : public StreamingNetwork {
+ public:
+  explicit MobilityNetwork(
+      const MobilityConfig& cfg,
+      std::size_t window = StreamingNetwork::kDefaultWindow);
+  ~MobilityNetwork() override;
+
+  /// Node positions of the most recently synthesized round (the mobility
+  /// state the next round evolves from).
+  const std::vector<gen::Point2D>& current_positions() const;
+
+ private:
+  Graph synthesize_next() override;
+  void reset_generator() override;
+  void save_generator_state(ByteWriter& w) const override;
+  void load_generator_state(ByteReader& r) override;
+
+  MobilityConfig cfg_;
+  std::unique_ptr<detail::MobilityStepper> stepper_;
+};
+
+/// A mobility trace: positions per round plus the induced graphs (the
+/// materialized special case — all rounds resident; prefer MobilityNetwork
+/// at scale, which shares the same position stepper).
 class MobilityTrace {
  public:
   explicit MobilityTrace(const MobilityConfig& cfg);

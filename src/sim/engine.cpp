@@ -189,6 +189,17 @@ SimSnapshot Engine::snapshot() const {
     channel_->save_state(cw);
     w.blob(cw.buffer());
   }
+  // Streaming topologies (StreamingNetwork and decorators over one) carry
+  // generator state: persisting it lets restore continue synthesis at the
+  // frontier instead of replaying the whole prefix.  Materialized traces
+  // have no such state and store only the absence flag.
+  const auto* trace = dynamic_cast<const TraceStateSource*>(net_);
+  w.u8(trace != nullptr ? 1 : 0);
+  if (trace != nullptr) {
+    ByteWriter tw;
+    trace->save_trace_state(tw);
+    w.blob(tw.buffer());
+  }
   // Each process state is length-framed so restore can hand every process a
   // bounded reader and verify it consumes its section exactly — a process
   // type mismatch surfaces as a diagnostic, not as silent misalignment.
@@ -254,6 +265,20 @@ void Engine::restore(const SimSnapshot& snap) {
     ByteReader cr(r.blob(), "snapshot channel state");
     channel_->restore_state(cr);
     cr.expect_done();
+  }
+  const bool stored_trace = r.u8() != 0;
+  auto* trace = dynamic_cast<TraceStateSource*>(net_);
+  if (stored_trace != (trace != nullptr)) {
+    throw IoError(
+        std::string("snapshot corrupt or mismatched: snapshot was taken ") +
+        (stored_trace ? "with" : "without") +
+        " a streaming network but this spec has the opposite — restore "
+        "requires an identically-built spec");
+  }
+  if (trace != nullptr) {
+    ByteReader tr(r.blob(), "snapshot network trace state");
+    trace->restore_trace_state(tr);
+    tr.expect_done();
   }
   for (NodeId v = 0; v < n; ++v) {
     ByteReader pr(r.blob(), "snapshot process state");

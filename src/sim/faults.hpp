@@ -17,8 +17,16 @@
 // byte-identical to the undecorated network.
 //
 // The *realized* faulty topology is what the hierarchy maintainer and the
-// assumption monitor must see: freeze it with materialize(faulty, rounds)
-// and replay the copy.
+// assumption monitor must see: either freeze it with materialize(faulty,
+// rounds) and replay the copy, or — at scales where a resident trace is
+// off the table — run the monitor's one-pass checkers directly over the
+// decorator (it streams: each round is edited on the fly and dropped).
+//
+// FaultyNetwork also forwards the TraceStateSource checkpoint capability:
+// when the base network is streaming, an Engine snapshot taken through the
+// decorator carries the base generator's state, so kill-and-resume works
+// unchanged over faulty streamed traces (the fault plan itself is
+// construction data and needs no serialization).
 #pragma once
 
 #include <memory>
@@ -89,7 +97,7 @@ FaultPlan random_churn_plan(std::size_t node_count, std::size_t crash_count,
 /// every generator (anything implementing DynamicNetwork) and with other
 /// FaultyNetworks; copies a round's graph only when a fault is active in
 /// that round.
-class FaultyNetwork final : public DynamicNetwork {
+class FaultyNetwork final : public DynamicNetwork, public TraceStateSource {
  public:
   /// Owning mode: the decorator keeps the base network alive (the form a
   /// self-owning SimulationSpec needs).
@@ -102,6 +110,11 @@ class FaultyNetwork final : public DynamicNetwork {
   const Graph& graph_at(Round r) override;
 
   const FaultPlan& plan() const { return plan_; }
+
+  /// Forwards to the base network when it is itself a TraceStateSource;
+  /// otherwise stores/checks only an absence flag (the plan is static).
+  void save_trace_state(ByteWriter& w) const override;
+  void restore_trace_state(ByteReader& r) override;
 
  private:
   const Graph& rebuild(Round r);

@@ -50,6 +50,23 @@ void validate_simulation_spec(const SimulationSpec& spec) {
          << "hierarchy over the realized topology) so their horizons match";
       throw PreconditionError(os.str());
     }
+    // A streaming topology paired with a materialized hierarchy (or vice
+    // versa) gets the same horizon check against the stream's declared
+    // horizon.  Paired streaming views (e.g. make_hinet_stream) share one
+    // generator core, so their horizons agree by construction and neither
+    // side is a sequence — nothing to check.
+    const auto* net_stream =
+        dynamic_cast<const StreamingNetwork*>(spec.network.get());
+    if (net_stream != nullptr && hier_seq != nullptr &&
+        net_stream->round_count() != hier_seq->round_count()) {
+      std::ostringstream os;
+      os << "SimulationSpec streaming network has a horizon of "
+         << net_stream->round_count() << " rounds but the hierarchy trace has "
+         << hier_seq->round_count()
+         << " — their horizons must match (or stream the hierarchy from the "
+         << "same generator)";
+      throw PreconditionError(os.str());
+    }
   }
 }
 

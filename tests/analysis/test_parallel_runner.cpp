@@ -158,25 +158,6 @@ TEST(ExecutionPolicy_, FactoriesAndQueries) {
             "threaded-batched");
 }
 
-// The one sanctioned use of the deprecated entry points: pin that the
-// shims forward to the options form with equivalent semantics until they
-// are removed.
-TEST(ParallelRunner, DeprecatedShimsMatchOptionsForm) {
-  const SpecFactory factory =
-      scenario_factory(Scenario::kHiNetInterval, small_config());
-  const AggregateResult options_form = run_experiment(
-      factory, ExperimentOptions{3, 7, ExecutionPolicy::serial()});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const AggregateResult old_serial = run_experiment(factory, 3, 7);
-  const AggregateResult old_parallel =
-      run_experiment_parallel(factory, 3, 7, 2);
-#pragma GCC diagnostic pop
-  EXPECT_TRUE(old_serial.same_statistics(options_form));
-  EXPECT_TRUE(old_parallel.same_statistics(options_form));
-  EXPECT_EQ(old_parallel.timing.jobs, 2u);
-}
-
 TEST(ParallelRunner, RequiresAtLeastOneRepetition) {
   const SpecFactory factory =
       scenario_factory(Scenario::kKloOne, small_config());

@@ -1,0 +1,142 @@
+// Engine checkpoint/resume over streaming traces.
+//
+// The scenario × channel matrix in test_snapshot.cpp already runs over
+// streaming specs (make_scenario builds them via make_hinet_stream); this
+// suite pins the streaming-specific guarantees on top:
+//   - a snapshot carries the generator's trace state, so restore resumes
+//     synthesis at the frontier WITHOUT replaying the prefix;
+//   - the trace-state section is presence-checked: a snapshot taken over
+//     a streaming network cannot be restored into a materialized spec
+//     (and vice versa);
+//   - the capability composes through FaultyNetwork decoration.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "analysis/assignment.hpp"
+#include "baseline/klo.hpp"
+#include "graph/markovian.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/snapshot.hpp"
+
+namespace hinet {
+namespace {
+
+constexpr std::size_t kNodes = 16;
+constexpr std::size_t kRounds = 24;
+constexpr std::size_t kTokens = 4;
+
+MarkovianConfig stream_config() {
+  MarkovianConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.rounds = kRounds;
+  cfg.initial = 0.3;
+  cfg.birth = 0.15;
+  cfg.death = 0.2;
+  cfg.seed = 77;
+  return cfg;
+}
+
+std::vector<ProcessPtr> make_processes() {
+  Rng rng(123);
+  const auto initial =
+      assign_tokens(kNodes, kTokens, AssignmentMode::kDistinctRandom, rng);
+  KloFloodParams p;
+  p.k = kTokens;
+  p.rounds = kRounds;
+  return make_klo_flood_processes(initial, p);
+}
+
+EngineConfig run_config() {
+  EngineConfig cfg;
+  cfg.max_rounds = kRounds;
+  cfg.stop_when_complete = false;
+  return cfg;
+}
+
+TEST(SnapshotStreaming, ResumeContinuesAtFrontierWithoutReplay) {
+  // Uninterrupted reference.
+  EdgeMarkovianNetwork ref_net(stream_config());
+  Engine ref(ref_net, nullptr, make_processes());
+  const SimMetrics expected = ref.run(run_config());
+
+  // Interrupted run: snapshot mid-flight.
+  EdgeMarkovianNetwork net_a(stream_config());
+  Engine a(net_a, nullptr, make_processes());
+  a.start(run_config());
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(a.step());
+  const SimSnapshot snap = a.snapshot();
+
+  // Restore into a FRESH engine over a FRESH network: the trace state in
+  // the snapshot must put the generator at the frontier...
+  EdgeMarkovianNetwork net_b(stream_config());
+  Engine b(net_b, nullptr, make_processes());
+  b.restore(snap);
+  EXPECT_EQ(net_b.frontier(), 9u);
+
+  while (b.step()) {
+  }
+  const SimMetrics resumed = b.finish();
+  EXPECT_TRUE(resumed == expected);
+  // ...and the resumed run must never have replayed rounds 0..8.
+  EXPECT_EQ(net_b.rewinds(), 0u);
+}
+
+TEST(SnapshotStreaming, StreamingMaterializedMismatchIsRejected) {
+  EdgeMarkovianNetwork net(stream_config());
+  Engine streaming(net, nullptr, make_processes());
+  streaming.start(run_config());
+  ASSERT_TRUE(streaming.step());
+  const SimSnapshot snap = streaming.snapshot();
+
+  // Same trace, materialized: structurally different run — must refuse.
+  GraphSequence seq = make_edge_markovian_trace(stream_config());
+  Engine materialized(seq, nullptr, make_processes());
+  EXPECT_THROW(materialized.restore(snap), IoError);
+
+  // And the mirror image: a materialized snapshot into a streaming spec.
+  GraphSequence seq2 = make_edge_markovian_trace(stream_config());
+  Engine mat2(seq2, nullptr, make_processes());
+  mat2.start(run_config());
+  ASSERT_TRUE(mat2.step());
+  const SimSnapshot mat_snap = mat2.snapshot();
+  EdgeMarkovianNetwork net2(stream_config());
+  Engine stream2(net2, nullptr, make_processes());
+  EXPECT_THROW(stream2.restore(mat_snap), IoError);
+}
+
+TEST(SnapshotStreaming, ComposesThroughFaultyNetwork) {
+  FaultPlan plan;
+  CrashEvent crash;
+  crash.node = 2;
+  crash.round = 4;
+  crash.recovery = 14;
+  plan.crashes.push_back(crash);
+
+  EdgeMarkovianNetwork ref_net(stream_config());
+  FaultyNetwork ref_faulty(ref_net, plan);
+  Engine ref(ref_faulty, nullptr, make_processes());
+  const SimMetrics expected = ref.run(run_config());
+
+  EdgeMarkovianNetwork net_a(stream_config());
+  FaultyNetwork faulty_a(net_a, plan);
+  Engine a(faulty_a, nullptr, make_processes());
+  a.start(run_config());
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(a.step());
+  const SimSnapshot snap = a.snapshot();
+
+  EdgeMarkovianNetwork net_b(stream_config());
+  FaultyNetwork faulty_b(net_b, plan);
+  Engine b(faulty_b, nullptr, make_processes());
+  b.restore(snap);
+  EXPECT_EQ(net_b.frontier(), 7u);
+  while (b.step()) {
+  }
+  EXPECT_TRUE(b.finish() == expected);
+  EXPECT_EQ(net_b.rewinds(), 0u);
+}
+
+}  // namespace
+}  // namespace hinet
