@@ -68,6 +68,10 @@ void ExperimentJournal::replay_and_truncate(std::vector<std::uint8_t> raw) {
     if (::fdatasync(fd_) != 0) {
       throw IoError(errno_detail("fdatasync failed on journal", path_));
     }
+    // The journal file itself was just created: make its directory entry
+    // durable too, or a power failure could forget the whole journal while
+    // the sweep believes every append reached disk.
+    fsync_parent_directory(path_);
     return;
   }
 

@@ -19,6 +19,31 @@ const char* scenario_name(Scenario s) {
   return "?";
 }
 
+const char* scenario_cli_name(Scenario s) {
+  switch (s) {
+    case Scenario::kKloInterval: return "klo-interval";
+    case Scenario::kHiNetInterval: return "hinet-interval";
+    case Scenario::kHiNetIntervalStable: return "hinet-interval-stable";
+    case Scenario::kKloOne: return "klo-one";
+    case Scenario::kHiNetOne: return "hinet-one";
+  }
+  return "?";
+}
+
+std::optional<Scenario> scenario_from_cli_name(const std::string& name) {
+  for (const Scenario s : all_scenarios()) {
+    if (name == scenario_cli_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::span<const Scenario> all_scenarios() {
+  static constexpr Scenario kAll[] = {
+      Scenario::kKloInterval, Scenario::kHiNetInterval,
+      Scenario::kHiNetIntervalStable, Scenario::kKloOne, Scenario::kHiNetOne};
+  return kAll;
+}
+
 HiNetConfig scenario_generator(Scenario s, const ScenarioConfig& cfg,
                                std::uint64_t seed,
                                ScenarioSchedule* schedule) {

@@ -14,6 +14,10 @@
 // print analytic-vs-measured side by side.
 #pragma once
 
+#include <optional>
+#include <span>
+#include <string>
+
 #include "analysis/assignment.hpp"
 #include "analysis/experiment.hpp"
 #include "core/cost_model.hpp"
@@ -30,6 +34,18 @@ enum class Scenario {
 };
 
 const char* scenario_name(Scenario s);
+
+/// Stable machine-readable identifier ("hinet-interval", "klo-one", ...):
+/// the spelling the CLI tools accept and the durable job specs store.
+const char* scenario_cli_name(Scenario s);
+
+/// Inverse of scenario_cli_name; nullopt for an unknown name.  Shared by
+/// sweep_runner and hinetd so the two front-ends cannot drift apart.
+std::optional<Scenario> scenario_from_cli_name(const std::string& name);
+
+/// Every scenario, in declaration order (for "list what I accept" help
+/// text and exhaustive tests).
+std::span<const Scenario> all_scenarios();
 
 struct ScenarioConfig {
   std::size_t nodes = 100;

@@ -495,17 +495,23 @@ namespace {
 
 std::atomic<bool> g_sigint_cancel{false};
 
-extern "C" void hinet_sigint_handler(int) {
+extern "C" void hinet_sigint_handler(int sig) {
   g_sigint_cancel.store(true, std::memory_order_relaxed);
-  // A second ctrl-C should kill even a wedged sweep: fall back to the
+  // A second delivery should kill even a wedged sweep: fall back to the
   // default disposition once the graceful path has been requested.
-  std::signal(SIGINT, SIG_DFL);
+  std::signal(sig, SIG_DFL);
 }
 
 }  // namespace
 
 const std::atomic<bool>* install_sigint_cancellation() {
   std::signal(SIGINT, hinet_sigint_handler);
+  return &g_sigint_cancel;
+}
+
+const std::atomic<bool>* install_termination_cancellation() {
+  std::signal(SIGINT, hinet_sigint_handler);
+  std::signal(SIGTERM, hinet_sigint_handler);
   return &g_sigint_cancel;
 }
 

@@ -181,4 +181,12 @@ AggregateResult run_experiment_supervised(const SpecFactory& factory,
 /// disposition, so a double ctrl-C still kills a wedged sweep.
 const std::atomic<bool>* install_sigint_cancellation();
 
+/// Like install_sigint_cancellation, but covers SIGTERM as well — the
+/// signal a supervisor (systemd, CI, `kill`) sends for a clean shutdown.
+/// Both signals share one flag: long-running tools (sweep_runner, hinetd)
+/// treat either as "finish the in-flight unit, journal it, exit with the
+/// shared transient status".  A second delivery of either signal restores
+/// the default disposition, so a wedged process can still be killed.
+const std::atomic<bool>* install_termination_cancellation();
+
 }  // namespace hinet

@@ -1,0 +1,225 @@
+#include "service/framed_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace hinet {
+
+namespace {
+
+constexpr std::size_t kFileHeaderBytes = 4 + 2 + 2;
+
+std::string errno_detail(const std::string& what, const std::string& path) {
+  std::ostringstream os;
+  os << what << " " << path << ": " << std::strerror(errno);
+  return os.str();
+}
+
+}  // namespace
+
+FramedLog::FramedLog(std::string path, std::uint32_t file_magic,
+                     std::uint16_t version, std::uint32_t record_magic,
+                     std::string what)
+    : path_(std::move(path)),
+      file_magic_(file_magic),
+      version_(version),
+      record_magic_(record_magic),
+      what_(std::move(what)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw IoError(errno_detail("cannot open " + what_, path_));
+  }
+
+  std::vector<std::uint8_t> raw;
+  std::uint8_t chunk[4096];
+  ssize_t got = 0;
+  while ((got = ::read(fd_, chunk, sizeof chunk)) > 0) {
+    raw.insert(raw.end(), chunk, chunk + got);
+  }
+  if (got < 0) {
+    const IoError err(errno_detail("read error on " + what_, path_));
+    ::close(fd_);
+    fd_ = -1;
+    throw err;
+  }
+
+  try {
+    replay_and_truncate(std::move(raw));
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+FramedLog::~FramedLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FramedLog::replay_and_truncate(std::vector<std::uint8_t> raw) {
+  if (raw.empty()) {
+    // Fresh log: stamp the header, then make both the bytes and the file's
+    // directory entry durable.
+    ByteWriter w;
+    w.u32(file_magic_);
+    w.u16(version_);
+    w.u16(0);  // reserved
+    write_all(w.buffer().data(), w.size());
+    sync_now();
+    fsync_parent_directory(path_);
+    return;
+  }
+
+  // A wrong header is never the tail of a crashed append — refuse instead
+  // of "salvaging" someone else's file away.
+  if (raw.size() < kFileHeaderBytes) {
+    std::ostringstream os;
+    os << what_ << " file " << path_ << " truncated: " << raw.size()
+       << " byte(s) is shorter than the " << kFileHeaderBytes
+       << "-byte header";
+    throw IoError(os.str());
+  }
+  ByteReader header(raw, what_ + " header (" + path_ + ")");
+  const std::uint32_t got_magic = header.u32();
+  if (got_magic != file_magic_) {
+    std::ostringstream os;
+    os << what_ << " file " << path_ << " has wrong magic 0x" << std::hex
+       << got_magic << " (expected 0x" << file_magic_ << ") — not a "
+       << what_;
+    throw IoError(os.str());
+  }
+  const std::uint16_t got_version = header.u16();
+  if (got_version != version_) {
+    std::ostringstream os;
+    os << what_ << " file " << path_ << " has format version " << got_version
+       << " but this build reads version " << version_;
+    throw IoError(os.str());
+  }
+  header.u16();  // reserved
+
+  // Replay records; anything that fails to parse is the torn tail of a
+  // crashed append (every record before it was fsynced and CRC-checked).
+  std::size_t valid_end = kFileHeaderBytes;
+  ByteReader r(raw, what_ + " (" + path_ + ")");
+  r.bytes(kFileHeaderBytes);
+  while (!r.done()) {
+    try {
+      if (r.u32() != record_magic_) break;
+      const std::uint64_t len = r.u64();
+      const std::uint32_t stored_crc = r.u32();
+      if (len > r.remaining()) break;
+      const auto payload = r.bytes(static_cast<std::size_t>(len));
+      if (crc32(payload) != stored_crc) break;
+      records_.emplace_back(payload.begin(), payload.end());
+    } catch (const IoError&) {
+      break;
+    }
+    valid_end = raw.size() - r.remaining();
+  }
+  dropped_bytes_ = raw.size() - valid_end;
+
+  if (dropped_bytes_ > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      throw IoError(
+          errno_detail("cannot truncate corrupt tail of " + what_, path_));
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+      throw IoError(errno_detail("lseek failed on " + what_, path_));
+    }
+  }
+}
+
+void FramedLog::write_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t wrote = ::write(fd_, data + done, len - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_detail("write failed on " + what_, path_));
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+}
+
+void FramedLog::sync_now() {
+  if (::fdatasync(fd_) != 0) {
+    throw IoError(errno_detail("fdatasync failed on " + what_, path_));
+  }
+}
+
+void FramedLog::append(std::span<const std::uint8_t> payload) {
+  ByteWriter record;
+  record.u32(record_magic_);
+  record.u64(payload.size());
+  record.u32(crc32(payload));
+  record.bytes(payload);
+  write_all(record.buffer().data(), record.size());
+  sync_now();
+  records_.emplace_back(payload.begin(), payload.end());
+}
+
+void FramedLog::compact(const std::vector<std::vector<std::uint8_t>>& keep) {
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    throw IoError(errno_detail("cannot open compaction sibling for " + what_,
+                               tmp));
+  }
+
+  ByteWriter w;
+  w.u32(file_magic_);
+  w.u16(version_);
+  w.u16(0);  // reserved
+  for (const std::vector<std::uint8_t>& payload : keep) {
+    w.u32(record_magic_);
+    w.u64(payload.size());
+    w.u32(crc32(payload));
+    w.bytes(payload);
+  }
+
+  std::size_t done = 0;
+  const std::uint8_t* data = w.buffer().data();
+  bool ok = true;
+  while (ok && done < w.size()) {
+    const ssize_t wrote = ::write(tmp_fd, data + done, w.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  ok = ok && ::fsync(tmp_fd) == 0;
+  const bool closed = ::close(tmp_fd) == 0;
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    throw IoError(errno_detail("short write compacting " + what_, tmp));
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError(errno_detail("cannot publish compacted " + what_, path_));
+  }
+  fsync_parent_directory(path_);
+
+  // Continue appending to the compacted file.
+  const int new_fd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (new_fd < 0) {
+    throw IoError(errno_detail("cannot reopen compacted " + what_, path_));
+  }
+  if (::lseek(new_fd, 0, SEEK_END) < 0) {
+    const IoError err(errno_detail("lseek failed on " + what_, path_));
+    ::close(new_fd);
+    throw err;
+  }
+  ::close(fd_);
+  fd_ = new_fd;
+  records_ = keep;
+}
+
+}  // namespace hinet

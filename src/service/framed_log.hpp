@@ -1,0 +1,77 @@
+// FramedLog: append-only, CRC-framed, fsynced record file with
+// salvage-the-prefix recovery — the shared durability substrate under the
+// results store's write-ahead intent log and the service's job queue.
+//
+// It generalises the ExperimentJournal's proven on-disk discipline
+// (analysis/journal.hpp) to arbitrary record payloads:
+//
+//   file header : u32 file magic · u16 version · u16 reserved(0)
+//   record      : u32 record magic · u64 payload length · u32 crc32(payload)
+//                 · payload bytes
+//
+// Appends are write()-then-fdatasync, so a record either exists completely
+// or not at all.  Opening replays every record; a torn or corrupt *tail*
+// (the expected shape of a crash mid-append) is truncated away and
+// reported via dropped_bytes().  Corruption that cannot be the tail of a
+// sane log — wrong file magic, wrong version — throws IoError instead:
+// that file is not this log, and "salvaging" it would destroy someone
+// else's data.  Creating a fresh log fsyncs the parent directory, so even
+// the file's existence survives power failure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.hpp"
+
+namespace hinet {
+
+class FramedLog {
+ public:
+  /// Opens (creating if absent) and replays the log at `path`.  `what`
+  /// names the artifact in every diagnostic ("results-store WAL").
+  FramedLog(std::string path, std::uint32_t file_magic, std::uint16_t version,
+            std::uint32_t record_magic, std::string what);
+  ~FramedLog();
+
+  FramedLog(const FramedLog&) = delete;
+  FramedLog& operator=(const FramedLog&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Every intact record replayed at open, in append order, plus records
+  /// appended through this handle since.
+  const std::vector<std::vector<std::uint8_t>>& records() const {
+    return records_;
+  }
+
+  /// Bytes of torn/corrupt tail dropped at open (0 for a clean file).
+  std::size_t dropped_bytes() const { return dropped_bytes_; }
+
+  /// Durably appends one record: written and fdatasync'd before returning.
+  void append(std::span<const std::uint8_t> payload);
+
+  /// Atomically rewrites the log to hold exactly `keep` (write a temporary
+  /// sibling, fsync, rename, fsync the directory) and continues appending
+  /// to the rewritten file.  Used to bound log growth once every record's
+  /// outcome is settled.
+  void compact(const std::vector<std::vector<std::uint8_t>>& keep);
+
+ private:
+  void replay_and_truncate(std::vector<std::uint8_t> raw);
+  void write_all(const std::uint8_t* data, std::size_t len);
+  void sync_now();
+
+  std::string path_;
+  std::uint32_t file_magic_ = 0;
+  std::uint16_t version_ = 0;
+  std::uint32_t record_magic_ = 0;
+  std::string what_;
+  int fd_ = -1;
+  std::vector<std::vector<std::uint8_t>> records_;
+  std::size_t dropped_bytes_ = 0;
+};
+
+}  // namespace hinet

@@ -1,0 +1,337 @@
+#include "service/results_store.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "sim/snapshot.hpp"
+#include "util/require.hpp"
+
+namespace hinet {
+
+namespace {
+
+// WAL record kinds.  A record is {u8 kind, u64 job hash}.
+constexpr std::uint8_t kWalIntent = 1;
+constexpr std::uint8_t kWalCommit = 2;
+constexpr std::uint8_t kWalRollback = 3;
+
+std::vector<std::uint8_t> wal_record(std::uint8_t kind, std::uint64_t hash) {
+  ByteWriter w;
+  w.u8(kind);
+  w.u64(hash);
+  return w.take();
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  std::ostringstream os;
+  os << std::hex;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    os << ((hash >> shift) & 0xFu);
+  }
+  return os.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct ::stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+ResultsStore::ResultsStore(std::string dir) : dir_(std::move(dir)) {
+  HINET_REQUIRE(!dir_.empty(), "results store needs a directory path");
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw IoError("cannot create results-store directory " + dir_ + ": " +
+                  std::strerror(errno));
+  }
+
+  wal_ = std::make_unique<FramedLog>(dir_ + "/wal.hwl", kWalMagic, kWalVersion,
+                                     kWalRecordMagic, "results-store WAL");
+  counters_.salvaged_wal_bytes = wal_->dropped_bytes();
+
+  // Load the index (all-or-nothing: it is rename-atomic, so corruption is
+  // real corruption, not a crash artifact — refuse loudly).
+  const std::string index_path = dir_ + "/index.hix";
+  if (file_exists(index_path)) {
+    const std::vector<std::uint8_t> payload = read_checksummed_file(
+        index_path, kIndexMagic, kIndexVersion, "results-store index");
+    ByteReader r(payload, "results-store index payload");
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t hash = r.u64();
+      const auto spec_bytes = r.blob();
+      entries_.insert_or_assign(
+          hash, Entry{{spec_bytes.begin(), spec_bytes.end()}});
+    }
+    r.expect_done();
+  }
+
+  recover();
+}
+
+void ResultsStore::recover() {
+  // An intent with no commit/rollback after it is an interrupted publish.
+  // (Hashes repeat across re-publish-after-rollback cycles, so resolve by
+  // the *latest* record per hash.)
+  std::map<std::uint64_t, std::uint8_t> last_kind;
+  for (const std::vector<std::uint8_t>& rec : wal_->records()) {
+    ByteReader r(rec, "results-store WAL record");
+    const std::uint8_t kind = r.u8();
+    const std::uint64_t hash = r.u64();
+    r.expect_done();
+    if (kind != kWalIntent && kind != kWalCommit && kind != kWalRollback) {
+      std::ostringstream os;
+      os << "results-store WAL record has unknown kind "
+         << static_cast<unsigned>(kind) << " — the WAL is corrupt";
+      throw IoError(os.str());
+    }
+    last_kind[hash] = kind;
+  }
+
+  bool index_dirty = false;
+  for (const auto& [hash, kind] : last_kind) {
+    if (kind != kWalIntent) continue;
+
+    // The segment is rename-atomic: if it exists and validates, the
+    // publish was fully durable — roll forward.  Anything else (absent,
+    // truncated, corrupt) rolls back to a clean miss.
+    bool segment_ok = false;
+    const auto it = entries_.find(hash);
+    try {
+      const std::vector<std::uint8_t> expect =
+          it != entries_.end() ? it->second.spec_bytes
+                               : std::vector<std::uint8_t>{};
+      const StoredResult result = load_segment(hash, expect);
+      segment_ok = true;
+      if (it == entries_.end()) {
+        entries_.insert_or_assign(hash,
+                                  Entry{result.spec.canonical_bytes()});
+        index_dirty = true;
+      }
+    } catch (const IoError&) {
+      segment_ok = false;
+    }
+
+    if (segment_ok) {
+      if (index_dirty) {
+        rewrite_index();
+        index_dirty = false;
+      }
+      wal_->append(wal_record(kWalCommit, hash));
+      ++counters_.recovered_commits;
+    } else {
+      if (it != entries_.end()) {
+        entries_.erase(it);
+        rewrite_index();
+      }
+      std::remove(segment_path(hash).c_str());
+      std::remove((segment_path(hash) + ".tmp").c_str());
+      wal_->append(wal_record(kWalRollback, hash));
+      ++counters_.rolled_back_intents;
+    }
+  }
+
+  // Every intent is now resolved; compact the WAL so it cannot grow
+  // without bound across restarts.  (Crash-safe: compaction is itself
+  // write-then-rename, and an old WAL full of resolved intents replays to
+  // the same state.)
+  wal_->compact({});
+}
+
+void ResultsStore::rewrite_index() {
+  ByteWriter payload;
+  payload.u64(entries_.size());
+  for (const auto& [hash, entry] : entries_) {
+    payload.u64(hash);
+    payload.blob(entry.spec_bytes);
+  }
+  write_checksummed_file(dir_ + "/index.hix", kIndexMagic, kIndexVersion,
+                         payload.buffer());
+}
+
+void ResultsStore::check_not_poisoned() const {
+  if (poisoned_) {
+    throw IoError(
+        "results store at " + dir_ +
+        " is poisoned by an interrupted publish — reopen it to recover");
+  }
+}
+
+std::string ResultsStore::segment_path(std::uint64_t hash) const {
+  return dir_ + "/seg-" + hash_hex(hash) + ".hseg";
+}
+
+bool ResultsStore::contains(const JobSpec& spec) const {
+  const auto it = entries_.find(spec.content_hash());
+  return it != entries_.end() &&
+         it->second.spec_bytes == spec.canonical_bytes();
+}
+
+bool ResultsStore::contains_hash(std::uint64_t hash) const {
+  return entries_.find(hash) != entries_.end();
+}
+
+std::vector<JobSpec> ResultsStore::entries() const {
+  std::vector<JobSpec> out;
+  out.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) {
+    ByteReader r(entry.spec_bytes, "results-store index entry");
+    out.push_back(decode_job_spec(r));
+  }
+  return out;
+}
+
+StoredResult ResultsStore::load_segment(
+    std::uint64_t hash, const std::vector<std::uint8_t>& expect_spec) const {
+  const std::string path = segment_path(hash);
+  const std::vector<std::uint8_t> payload = read_checksummed_file(
+      path, kSegmentMagic, kSegmentVersion, "results-store segment");
+  ByteReader r(payload, "results-store segment payload (" + path + ")");
+
+  const auto spec_bytes = r.blob();
+  StoredResult result;
+  {
+    ByteReader sr(spec_bytes, "results-store segment spec");
+    result.spec = decode_job_spec(sr);
+    sr.expect_done();
+  }
+  if (result.spec.content_hash() != hash) {
+    throw IoError("results-store segment " + path +
+                  " embeds a spec whose content hash differs from its "
+                  "filename — the segment is corrupt or misplaced");
+  }
+  if (!expect_spec.empty() &&
+      !std::equal(spec_bytes.begin(), spec_bytes.end(), expect_spec.begin(),
+                  expect_spec.end())) {
+    throw IoError("results-store segment " + path +
+                  " embeds a different job spec than the index records for "
+                  "this hash — refusing to serve a mismatched result");
+  }
+
+  // Column sections: seeds, wall times, per-replicate metrics.
+  const std::vector<std::uint64_t> seeds = r.vec_u64();
+  const std::uint64_t reps = r.u64();
+  if (reps != result.spec.repetitions || seeds.size() != reps) {
+    std::ostringstream os;
+    os << "results-store segment " << path << " declares " << reps
+       << " replicate(s) and " << seeds.size() << " seed(s) but its spec "
+       << "asks for " << result.spec.repetitions
+       << " — the segment is torn or mismatched";
+    throw IoError(os.str());
+  }
+  result.replicates.reserve(reps);
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    const std::uint64_t expect_seed =
+        replicate_seed(result.spec.base_seed, i);
+    if (seeds[i] != expect_seed) {
+      std::ostringstream os;
+      os << "results-store segment " << path << " stores seed " << seeds[i]
+         << " for replicate " << i << " (expected " << expect_seed << ")";
+      throw IoError(os.str());
+    }
+    ReplicateResult rep;
+    rep.wall_ms = r.f64();
+    const auto metrics_bytes = r.blob();
+    ByteReader mr(metrics_bytes, "results-store segment metrics");
+    rep.metrics = load_metrics(mr);
+    mr.expect_done();
+    result.replicates.push_back(std::move(rep));
+  }
+  r.expect_done();
+  return result;
+}
+
+std::optional<StoredResult> ResultsStore::load(const JobSpec& spec) {
+  check_not_poisoned();
+  const std::uint64_t hash = spec.content_hash();
+  const auto it = entries_.find(hash);
+  if (it == entries_.end() ||
+      it->second.spec_bytes != spec.canonical_bytes()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  StoredResult result = load_segment(hash, it->second.spec_bytes);
+  ++counters_.hits;
+  return result;
+}
+
+std::optional<StoredResult> ResultsStore::load_hash(std::uint64_t hash) {
+  check_not_poisoned();
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  StoredResult result = load_segment(hash, it->second.spec_bytes);
+  ++counters_.hits;
+  return result;
+}
+
+void ResultsStore::publish(const JobSpec& spec,
+                           const std::vector<ReplicateResult>& replicates) {
+  check_not_poisoned();
+  HINET_REQUIRE(replicates.size() == spec.repetitions,
+                "publish needs exactly spec.repetitions replicate results "
+                "in index order — partial batches are journaled for resume, "
+                "never published");
+  const std::uint64_t hash = spec.content_hash();
+  const std::vector<std::uint8_t> spec_bytes = spec.canonical_bytes();
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    if (it->second.spec_bytes == spec_bytes) {
+      throw PreconditionError(
+          "job is already published — check contains() first; a stored job "
+          "is a cache hit, never re-executed or re-published");
+    }
+    throw IoError("content-hash collision: a different job spec is already "
+                  "stored under hash " + hash_hex(hash) +
+                  " — refusing to alias two jobs onto one result");
+  }
+
+  poisoned_ = true;  // cleared only when every stage lands
+
+  // Stage 1: durable intent.  From here recovery owns this hash until a
+  // commit or rollback resolves it.
+  wal_->append(wal_record(kWalIntent, hash));
+  if (commit_hook_) commit_hook_(CommitStage::kIntentLogged);
+
+  // Stage 2: segment (atomic write + directory fsync via
+  // write_checksummed_file).
+  ByteWriter payload;
+  payload.blob(spec_bytes);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(replicates.size());
+  for (std::size_t i = 0; i < replicates.size(); ++i) {
+    seeds.push_back(replicate_seed(spec.base_seed, i));
+  }
+  payload.vec_u64(seeds);
+  payload.u64(replicates.size());
+  for (const ReplicateResult& rep : replicates) {
+    payload.f64(rep.wall_ms);
+    ByteWriter metrics;
+    save_metrics(metrics, rep.metrics);
+    payload.blob(metrics.buffer());
+  }
+  write_checksummed_file(segment_path(hash), kSegmentMagic, kSegmentVersion,
+                         payload.buffer());
+  if (commit_hook_) commit_hook_(CommitStage::kSegmentWritten);
+
+  // Stage 3: index (atomic rewrite).
+  entries_.insert_or_assign(hash, Entry{spec_bytes});
+  rewrite_index();
+  if (commit_hook_) commit_hook_(CommitStage::kIndexPublished);
+
+  // Stage 4: commit marker — recovery no longer needs to look at this
+  // publish.
+  wal_->append(wal_record(kWalCommit, hash));
+  if (commit_hook_) commit_hook_(CommitStage::kCommitLogged);
+
+  poisoned_ = false;
+}
+
+}  // namespace hinet

@@ -1,0 +1,249 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "analysis/scenarios.hpp"
+#include "util/require.hpp"
+
+namespace hinet {
+
+std::string ServiceReport::to_string() const {
+  std::ostringstream os;
+  os << "executed: " << executed_jobs << "  cache-hits: " << cache_hits
+     << "  deferred: " << deferred_jobs << "  failed: " << failed_jobs
+     << "  resumed-replicates: " << resumed_replicates
+     << "  cancelled: " << (cancelled ? 1 : 0);
+  return os.str();
+}
+
+ExperimentService::ExperimentService(std::string dir, ServiceOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  // The store constructor creates the directory and runs recovery; the
+  // queue then opens inside it.
+  store_ = std::make_unique<ResultsStore>(dir_);
+  queue_ = std::make_unique<JobQueue>(dir_ + "/queue.hjq",
+                                      options_.max_pending);
+}
+
+std::string ExperimentService::journal_path(const JobSpec& spec) const {
+  return dir_ + "/job-" + spec.hash_hex() + ".journal";
+}
+
+ExperimentService::SubmitOutcome ExperimentService::submit(
+    const JobSpec& spec) {
+  HINET_REQUIRE(spec.repetitions > 0, "a job needs at least one replicate");
+  HINET_REQUIRE(
+      spec.base_seed <= std::numeric_limits<std::uint64_t>::max() -
+                            (spec.repetitions - 1),
+      "base_seed + repetitions would wrap past 2^64 and alias seeds");
+  if (store_->contains(spec)) return SubmitOutcome::kCacheHit;
+  return queue_->submit(spec) == JobQueue::Submit::kEnqueued
+             ? SubmitOutcome::kEnqueued
+             : SubmitOutcome::kAlreadyPending;
+}
+
+ServiceReport ExperimentService::run_pending() {
+  ServiceReport report;
+  const std::vector<JobSpec> jobs = queue_->pending_jobs();
+  for (const JobSpec& job : jobs) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      report.cancelled = true;
+      break;
+    }
+    const std::uint64_t hash = job.content_hash();
+
+    // Deduped execution: a job already stored (e.g. published by an
+    // earlier drain, or recovered by the store's roll-forward) is
+    // acknowledged without simulating anything.
+    if (store_->contains(job)) {
+      queue_->mark_done(hash);
+      ++report.cache_hits;
+      continue;
+    }
+
+    // Execute the missing replicates under the supervisor, journaling
+    // completions durably.  A journal left by a killed run prefills
+    // finished replicates, so nothing executes twice.
+    ExperimentJournal journal(journal_path(job));
+    report.resumed_replicates += journal.size();
+
+    SupervisorPolicy policy;
+    policy.deadline_ms = options_.deadline_ms;
+    policy.max_retries = options_.max_retries;
+    policy.journal = &journal;
+    policy.cancel = options_.cancel;
+
+    const SpecFactory factory = scenario_factory(job.scenario, job.config);
+    const ExperimentOptions exp{static_cast<std::size_t>(job.repetitions),
+                                job.base_seed, options_.policy};
+    const SupervisedBatch batch =
+        run_replicates_supervised(factory, exp, policy);
+
+    if (batch.cancelled) {
+      // Journal keeps what completed; the job stays pending for resume.
+      report.cancelled = true;
+      break;
+    }
+
+    if (batch.completed() == job.repetitions) {
+      std::vector<ReplicateResult> replicates;
+      replicates.reserve(batch.slots.size());
+      for (const std::optional<ReplicateResult>& slot : batch.slots) {
+        replicates.push_back(*slot);
+      }
+      store_->publish(job, replicates);
+      // The journal is now redundant (the store owns the result); its
+      // removal is pure cleanup — a resurrected journal is harmless
+      // because the store hit short-circuits before it is ever opened.
+      std::remove(journal_path(job).c_str());
+      queue_->mark_done(hash);
+      ++report.executed_jobs;
+      if (options_.on_job_published) options_.on_job_published(job);
+      continue;
+    }
+
+    // Partial completion.  Transient failures leave the job pending (the
+    // journal holds the finished replicates; a re-run finishes the rest);
+    // a deterministic failure would fail identically forever, so it is
+    // acknowledged as permanently failed.
+    bool permanent = false;
+    std::ostringstream why;
+    why << "job " << job.hash_hex() << " (" << job.describe() << "): ";
+    for (const RunError& f : batch.failures) {
+      if (!is_transient(f.cls)) permanent = true;
+      why << "[replicate " << f.replicate << " seed " << f.seed << " "
+          << to_string(f.cls) << ": " << f.message << "] ";
+    }
+    report.failure_messages.push_back(why.str());
+    if (permanent) {
+      queue_->mark_failed(hash, why.str());
+      std::remove(journal_path(job).c_str());
+      ++report.failed_jobs;
+    } else {
+      ++report.deferred_jobs;
+    }
+  }
+  return report;
+}
+
+// ── Query path ──────────────────────────────────────────────────────────
+
+CompletionCurve completion_curve(const StoredResult& result) {
+  CompletionCurve curve;
+  curve.nodes = result.spec.config.nodes;
+  curve.replicates = result.replicates.size();
+  std::size_t rounds = 0;
+  for (const ReplicateResult& rep : result.replicates) {
+    rounds = std::max(rounds, rep.metrics.complete_nodes_per_round.size());
+  }
+  curve.mean_complete_nodes.assign(rounds, 0.0);
+  if (curve.replicates == 0) return curve;
+  for (const ReplicateResult& rep : result.replicates) {
+    const std::vector<std::size_t>& series =
+        rep.metrics.complete_nodes_per_round;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      // Replicates that stopped early hold their final value afterwards.
+      const std::size_t v = series.empty()
+                                ? 0
+                                : series[std::min(r, series.size() - 1)];
+      curve.mean_complete_nodes[r] += static_cast<double>(v);
+    }
+  }
+  for (double& v : curve.mean_complete_nodes) {
+    v /= static_cast<double>(curve.replicates);
+  }
+  return curve;
+}
+
+AggregateResult aggregate_stored(const StoredResult& result) {
+  return aggregate_replicates(result.replicates, 0.0, 1);
+}
+
+std::string CrossoverReport::to_string() const {
+  std::ostringstream os;
+  os << "mean-rounds a=" << mean_rounds_a << " b=" << mean_rounds_b
+     << " winner="
+     << (winner < 0 ? "a" : (winner > 0 ? "b" : "tie"));
+  const auto print_from = [&os](const char* who, std::size_t from) {
+    os << " " << who << "-dominates-from=";
+    if (from == std::numeric_limits<std::size_t>::max()) {
+      os << "never";
+    } else {
+      os << from;
+    }
+  };
+  print_from("a", a_dominates_from);
+  print_from("b", b_dominates_from);
+  return os.str();
+}
+
+namespace {
+
+/// First round index from which x's completion fraction is >= y's at
+/// every later round (curves padded with their final values); SIZE_MAX
+/// when x never takes the lead for good.
+std::size_t dominates_from(const std::vector<double>& x_frac,
+                           const std::vector<double>& y_frac) {
+  const std::size_t rounds = std::max(x_frac.size(), y_frac.size());
+  if (rounds == 0) return std::numeric_limits<std::size_t>::max();
+  const auto at = [](const std::vector<double>& v, std::size_t r) {
+    if (v.empty()) return 0.0;
+    return v[std::min(r, v.size() - 1)];
+  };
+  std::size_t from = std::numeric_limits<std::size_t>::max();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (at(x_frac, r) >= at(y_frac, r)) {
+      if (from == std::numeric_limits<std::size_t>::max()) from = r;
+    } else {
+      from = std::numeric_limits<std::size_t>::max();
+    }
+  }
+  return from;
+}
+
+std::vector<double> fraction_curve(const StoredResult& result) {
+  const CompletionCurve curve = completion_curve(result);
+  std::vector<double> frac(curve.mean_complete_nodes.size(), 0.0);
+  const double n = static_cast<double>(std::max<std::size_t>(1, curve.nodes));
+  for (std::size_t r = 0; r < frac.size(); ++r) {
+    frac[r] = curve.mean_complete_nodes[r] / n;
+  }
+  return frac;
+}
+
+}  // namespace
+
+CrossoverReport find_crossover(const StoredResult& a, const StoredResult& b) {
+  CrossoverReport report;
+  const AggregateResult agg_a = aggregate_stored(a);
+  const AggregateResult agg_b = aggregate_stored(b);
+  report.mean_rounds_a = agg_a.rounds_to_completion.mean;
+  report.mean_rounds_b = agg_b.rounds_to_completion.mean;
+  if (report.mean_rounds_a < report.mean_rounds_b) {
+    report.winner = -1;
+  } else if (report.mean_rounds_b < report.mean_rounds_a) {
+    report.winner = 1;
+  }
+  const std::vector<double> frac_a = fraction_curve(a);
+  const std::vector<double> frac_b = fraction_curve(b);
+  report.a_dominates_from = dominates_from(frac_a, frac_b);
+  report.b_dominates_from = dominates_from(frac_b, frac_a);
+  return report;
+}
+
+std::uint64_t query_digest(const StoredResult& result) {
+  ByteWriter w;
+  w.u64(aggregate_stored(result).stats_digest());
+  const CompletionCurve curve = completion_curve(result);
+  w.u64(curve.nodes);
+  w.u64(curve.replicates);
+  w.u64(curve.mean_complete_nodes.size());
+  for (const double v : curve.mean_complete_nodes) w.f64(v);
+  return fnv1a64(w.buffer());
+}
+
+}  // namespace hinet

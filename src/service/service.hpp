@@ -1,0 +1,153 @@
+// ExperimentService: the simulate-once-serve-many layer.
+//
+// Ties together the three durable pieces — JobQueue (admission),
+// ResultsStore (content-addressed results) and the per-job
+// ExperimentJournal (in-flight replicate progress) — around the existing
+// supervised experiment runner:
+//
+//   submit(spec)     → cache hit (already stored: nothing to execute),
+//                      enqueued, or already pending.  Queue at capacity is
+//                      an explicit QueueFullError, never unbounded growth.
+//   run_pending()    → drains the queue.  Each job executes its *missing*
+//                      replicates through run_replicates_supervised under
+//                      the configured ExecutionPolicy (deadlines, retry
+//                      taxonomy, partial-batch salvage), journaling each
+//                      completed replicate durably.  A fully completed job
+//                      is published to the store through the staged commit
+//                      protocol and its journal deleted; a partially
+//                      completed one keeps its journal and stays pending —
+//                      kill -9 at any moment costs at most the replicate
+//                      in flight, and no journaled replicate or stored job
+//                      is ever executed twice.
+//   query helpers    → completion curves, crossover lookups and a
+//                      deterministic query digest served purely from the
+//                      store, without re-simulating.
+//
+// Everything is observable: the service report and the store counters
+// (hits/misses/recoveries) make the cache behaviour auditable — the CI
+// acceptance check literally greps them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/supervisor.hpp"
+#include "service/job_queue.hpp"
+#include "service/results_store.hpp"
+
+namespace hinet {
+
+struct ServiceOptions {
+  /// Admission bound for the queue.
+  std::size_t max_pending = 256;
+
+  /// How each job's replicates execute (serial/threaded/batched/...).
+  ExecutionPolicy policy;
+
+  /// Per-replicate wall budget and retry budget, passed to the supervisor.
+  std::size_t deadline_ms = 0;
+  std::size_t max_retries = 1;
+
+  /// Cooperative cancellation (SIGINT/SIGTERM); checked between jobs and
+  /// between replicates.  Not owned.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Invoked after a job's results were fully published and acknowledged
+  /// (the CI crash lever hard-exits here to simulate SIGKILL).
+  std::function<void(const JobSpec&)> on_job_published;
+};
+
+/// What run_pending did, per drained queue entry and in total.
+struct ServiceReport {
+  std::size_t executed_jobs = 0;   ///< simulated and published this run
+  std::size_t cache_hits = 0;      ///< already stored — served, not re-run
+  std::size_t failed_jobs = 0;     ///< left the queue permanently failed
+  std::size_t deferred_jobs = 0;   ///< transient failure — still pending
+  std::size_t resumed_replicates = 0;  ///< journal-recovered, not re-run
+  bool cancelled = false;          ///< stopped on the cancel flag
+  std::vector<std::string> failure_messages;
+
+  std::string to_string() const;
+};
+
+class ExperimentService {
+ public:
+  enum class SubmitOutcome { kCacheHit, kEnqueued, kAlreadyPending };
+
+  /// Opens (creating) the service state under `dir`: <dir>/queue.hjq,
+  /// <dir>/index.hix + segments + WAL, <dir>/job-<hash>.journal while a
+  /// job is in flight.  Recovery (store intents, queue backlog, journals)
+  /// happens here.
+  ExperimentService(std::string dir, ServiceOptions options);
+
+  ResultsStore& store() { return *store_; }
+  const ResultsStore& store() const { return *store_; }
+  JobQueue& queue() { return *queue_; }
+
+  /// Content-addressed admission: a stored job is a pure cache hit (no
+  /// queue traffic), a pending one is deduped, a new one is durably
+  /// enqueued.  Throws QueueFullError at capacity.
+  SubmitOutcome submit(const JobSpec& spec);
+
+  /// Drains the pending queue (snapshot taken at entry).  Never throws
+  /// for per-job failures — they land in the report; throws only for
+  /// store/queue-level corruption (IoError).
+  ServiceReport run_pending();
+
+  /// Path of the in-flight journal for a job (exists only between first
+  /// replicate and publish).
+  std::string journal_path(const JobSpec& spec) const;
+
+ private:
+  std::string dir_;
+  ServiceOptions options_;
+  std::unique_ptr<ResultsStore> store_;
+  std::unique_ptr<JobQueue> queue_;
+};
+
+// ── Query path: served from the store, never simulating ────────────────
+
+/// Mean completion curve over a job's replicates: entry r is the mean
+/// number of nodes holding all k tokens after round r, padded with each
+/// replicate's final value when replicates ran different round counts.
+struct CompletionCurve {
+  std::size_t nodes = 0;
+  std::size_t replicates = 0;
+  std::vector<double> mean_complete_nodes;
+};
+
+CompletionCurve completion_curve(const StoredResult& result);
+
+/// Aggregate statistics recomputed from the stored replicates — identical
+/// (stats_digest and all) to what the original sweep printed, because
+/// aggregation is a deterministic index-ordered fold.
+AggregateResult aggregate_stored(const StoredResult& result);
+
+/// Where two stored jobs' completion curves cross — the paper's "who wins
+/// where" lookup (e.g. Alg1/Alg2 vs KLO) as a pure store query.
+struct CrossoverReport {
+  double mean_rounds_a = 0.0;  ///< mean rounds_to_completion (delivered)
+  double mean_rounds_b = 0.0;
+  int winner = 0;  ///< -1: a completes first, +1: b, 0: tie
+  /// First round index from which a's mean completion-fraction curve
+  /// dominates b's for every later round (SIZE_MAX when it never does).
+  std::size_t a_dominates_from = 0;
+  std::size_t b_dominates_from = 0;
+
+  std::string to_string() const;
+};
+
+CrossoverReport find_crossover(const StoredResult& a, const StoredResult& b);
+
+/// Deterministic digest over everything a query serves (aggregate
+/// statistics + completion curve): byte-identical across reopenings,
+/// recoveries and re-queries of the same stored job.  The CI
+/// kill-and-recover smoke diffs this against an uninterrupted run.
+std::uint64_t query_digest(const StoredResult& result);
+
+}  // namespace hinet

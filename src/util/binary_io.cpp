@@ -1,8 +1,13 @@
 #include "util/binary_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace hinet {
@@ -192,6 +197,25 @@ constexpr std::size_t kHeaderBytes = 4 + 2 + 8 + 4;  // magic·version·len·crc
 
 }  // namespace
 
+void fsync_parent_directory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot open directory " + dir + " to sync it: " +
+                  std::strerror(errno));
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const int saved_errno = errno;
+  ::close(fd);
+  if (!synced) {
+    throw IoError("fsync failed on directory " + dir + ": " +
+                  std::strerror(saved_errno));
+  }
+}
+
 void write_checksummed_file(const std::string& path, std::uint32_t magic,
                             std::uint16_t version,
                             std::span<const std::uint8_t> payload) {
@@ -210,7 +234,10 @@ void write_checksummed_file(const std::string& path, std::uint32_t magic,
           header.size() &&
       (payload.empty() ||
        std::fwrite(payload.data(), 1, payload.size(), f) == payload.size()) &&
-      std::fflush(f) == 0;
+      std::fflush(f) == 0 &&
+      // fsync before the rename: renaming a file whose *contents* are still
+      // in flight would let the crash-ordered disk publish an empty file.
+      ::fsync(::fileno(f)) == 0;
   const bool closed = std::fclose(f) == 0;
   if (!ok || !closed) {
     std::remove(tmp.c_str());
@@ -220,6 +247,9 @@ void write_checksummed_file(const std::string& path, std::uint32_t magic,
     std::remove(tmp.c_str());
     throw IoError("cannot rename " + tmp + " to " + path);
   }
+  // The rename lives in the parent directory's inode; sync it so a power
+  // failure after this return cannot un-publish the file.
+  fsync_parent_directory(path);
 }
 
 std::vector<std::uint8_t> read_checksummed_file(const std::string& path,

@@ -110,13 +110,24 @@ class ByteReader {
   std::string what_;
 };
 
+/// Durably records a directory-level change (a rename into the directory,
+/// a freshly created file) by fsyncing `path`'s parent directory.  POSIX
+/// write-then-rename makes the *file contents* atomic, but the rename
+/// itself lives in the directory, and a power failure can forget it unless
+/// the directory inode is synced too.  Every atomic-publish step in the
+/// tree (snapshots, journals, the results store) funnels through this.
+/// Throws IoError when the directory cannot be opened or synced.
+void fsync_parent_directory(const std::string& path);
+
 /// Writes `payload` to `path` inside the shared container format:
 ///
 ///   u32 magic · u16 version · u64 payload length · u32 crc32(payload) ·
 ///   payload bytes
 ///
-/// The file is written to a temporary sibling and renamed into place, so a
-/// crash mid-write can never leave a half-written artifact under `path`.
+/// The file is written to a temporary sibling (fflush + fsync), renamed
+/// into place, and the parent directory is fsynced, so a crash — or a
+/// power failure — mid-write can never leave a half-written artifact under
+/// `path`, and the rename itself survives the power loss.
 void write_checksummed_file(const std::string& path, std::uint32_t magic,
                             std::uint16_t version,
                             std::span<const std::uint8_t> payload);

@@ -24,6 +24,11 @@
 // threaded-batched; --batch-r sets the lockstep width R).  Statistics and
 // the stats-digest are byte-identical across policies; under the batched
 // policies --deadline-ms bounds each lockstep batch as a whole.
+//
+// Exit codes and signal handling follow the convention shared with hinetd
+// (service/exit_codes.hpp): 0 ok, 1 permanent failure, 2 usage,
+// 3 transient/retryable (interrupted — resume with --resume), 4 corrupt
+// durable state; SIGINT and SIGTERM both request graceful shutdown.
 
 #include <atomic>
 #include <chrono>
@@ -37,6 +42,7 @@
 #include "analysis/journal.hpp"
 #include "analysis/scenarios.hpp"
 #include "analysis/supervisor.hpp"
+#include "service/exit_codes.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -45,17 +51,14 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 hinet::Scenario parse_scenario(const std::string& name) {
-  if (name == "klo-interval") return hinet::Scenario::kKloInterval;
-  if (name == "hinet-interval") return hinet::Scenario::kHiNetInterval;
-  if (name == "hinet-interval-stable") {
-    return hinet::Scenario::kHiNetIntervalStable;
+  const std::optional<hinet::Scenario> s = hinet::scenario_from_cli_name(name);
+  if (!s.has_value()) {
+    throw std::invalid_argument(
+        "unknown --scenario '" + name +
+        "' (choose one of: klo-interval, hinet-interval, "
+        "hinet-interval-stable, klo-one, hinet-one)");
   }
-  if (name == "klo-one") return hinet::Scenario::kKloOne;
-  if (name == "hinet-one") return hinet::Scenario::kHiNetOne;
-  throw std::invalid_argument(
-      "unknown --scenario '" + name +
-      "' (choose one of: klo-interval, hinet-interval, "
-      "hinet-interval-stable, klo-one, hinet-one)");
+  return *s;
 }
 
 hinet::ExecutionPolicy::Mode parse_policy(const std::string& name) {
@@ -118,12 +121,13 @@ int main(int argc, char** argv) {
     if (args.help_requested()) {
       std::cout << args.usage(
           "Supervised, journal-backed scenario sweep with crash-safe "
-          "resume.");
-      return 0;
+          "resume.\n" +
+          std::string(exit_code_help()));
+      return kExitOk;
     }
     for (const std::string& opt : args.unknown_options()) {
       std::cerr << "unknown option: " << opt << "\n";
-      return 2;
+      return kExitUsage;
     }
 
     const Scenario scenario = parse_scenario(scenario_arg);
@@ -149,7 +153,7 @@ int main(int argc, char** argv) {
                   << journal->size()
                   << " completed replicate(s); pass --resume to continue "
                   << "that sweep, or point --journal at a fresh path\n";
-        return 2;
+        return kExitUsage;
       }
     }
 
@@ -158,7 +162,7 @@ int main(int argc, char** argv) {
     policy.deadline_ms = deadline_ms;
     policy.max_retries = retries;
     policy.journal = journal.get();
-    policy.cancel = install_sigint_cancellation();
+    policy.cancel = install_termination_cancellation();
     if (abort_after > 0) {
       policy.on_progress = [&fresh_completions, abort_after](std::size_t,
                                                              std::uint64_t) {
@@ -198,7 +202,7 @@ int main(int argc, char** argv) {
 
     if (batch.completed() == 0) {
       std::cerr << "error: no replicate completed — nothing to aggregate\n";
-      return 1;
+      return kExitFailed;
     }
     const AggregateResult agg =
         aggregate_supervised(batch, seconds, exec.effective_jobs());
@@ -210,11 +214,11 @@ int main(int argc, char** argv) {
 
     if (batch.cancelled) {
       std::cout << "interrupted — rerun with --resume to finish the sweep\n";
-      return 3;
+      return kExitTransient;
     }
-    return batch.failures.empty() ? 0 : 1;
+    return batch.failures.empty() ? kExitOk : kExitFailed;
   } catch (const std::exception& e) {
     std::cerr << "sweep_runner: " << e.what() << "\n";
-    return 2;
+    return exit_code_for_exception(e);
   }
 }
