@@ -132,6 +132,9 @@ ServiceReport ExperimentService::run_pending() {
 
 // ── Query path ──────────────────────────────────────────────────────────
 
+// detlint: hot-path-begin — the query/serve path runs once per stored
+// replicate set per client request; curve buffers are sized up front with
+// assign()/construction and the per-round loops must not grow them.
 CompletionCurve completion_curve(const StoredResult& result) {
   CompletionCurve curve;
   curve.nodes = result.spec.config.nodes;
@@ -158,6 +161,7 @@ CompletionCurve completion_curve(const StoredResult& result) {
   }
   return curve;
 }
+// detlint: hot-path-end
 
 AggregateResult aggregate_stored(const StoredResult& result) {
   return aggregate_replicates(result.replicates, 0.0, 1);
@@ -183,6 +187,8 @@ std::string CrossoverReport::to_string() const {
 
 namespace {
 
+// detlint: hot-path-begin — crossover comparison scans every round of both
+// curves; the scratch fraction vector is sized at construction.
 /// First round index from which x's completion fraction is >= y's at
 /// every later round (curves padded with their final values); SIZE_MAX
 /// when x never takes the lead for good.
@@ -214,6 +220,7 @@ std::vector<double> fraction_curve(const StoredResult& result) {
   }
   return frac;
 }
+// detlint: hot-path-end
 
 }  // namespace
 
@@ -235,6 +242,9 @@ CrossoverReport find_crossover(const StoredResult& a, const StoredResult& b) {
   return report;
 }
 
+// detlint: hot-path-begin — digesting streams every round's mean through
+// the ByteWriter; growth happens inside the writer's amortized buffer, not
+// in this loop.
 std::uint64_t query_digest(const StoredResult& result) {
   ByteWriter w;
   w.u64(aggregate_stored(result).stats_digest());
@@ -245,5 +255,6 @@ std::uint64_t query_digest(const StoredResult& result) {
   for (const double v : curve.mean_complete_nodes) w.f64(v);
   return fnv1a64(w.buffer());
 }
+// detlint: hot-path-end
 
 }  // namespace hinet

@@ -1,0 +1,16 @@
+// Fixture: durability-ordering violations silenced by auditable allows.
+// Must produce zero findings.
+// Lint-test data only — never compiled.
+#include <cstdio>
+
+void publish_no_fsync(const char* tmp, const char* final_path) {
+  std::FILE* f = std::fopen(tmp, "wb");
+  std::fwrite("x", 1, 1, f);
+  std::fclose(f);
+  // detlint-allow(durability-ordering): fixture — target fs is a tmpfs scratch
+  rename(tmp, final_path);
+}
+
+void append_record(int fd, const void* buf) {
+  write_all(fd, buf, 8);  // detlint-allow(durability-ordering): fixture — caller syncs in batches
+}

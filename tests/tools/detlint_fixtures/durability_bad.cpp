@@ -1,0 +1,16 @@
+// Fixture: durability-ordering violations — a write-then-rename publish that
+// never fsyncs the file and never fsyncs the parent directory, and an append
+// path that returns without making the record durable.
+// Lint-test data only — never compiled.
+#include <cstdio>
+
+void publish_no_fsync(const char* tmp, const char* final_path) {
+  std::FILE* f = std::fopen(tmp, "wb");
+  std::fwrite("x", 1, 1, f);
+  std::fclose(f);
+  rename(tmp, final_path);  // missing file fsync AND parent-dir fsync
+}
+
+void append_record(int fd, const void* buf) {
+  write_all(fd, buf, 8);  // acked append with no fdatasync behind it
+}

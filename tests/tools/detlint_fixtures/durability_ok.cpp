@@ -1,0 +1,20 @@
+// Fixture: the compliant durability protocol — fsync the file before the
+// rename, fsync the parent directory after it, fdatasync before an append
+// acks.  Must produce zero findings.
+// Lint-test data only — never compiled.
+#include <cstdio>
+
+void publish(const char* tmp, const char* final_path) {
+  std::FILE* f = std::fopen(tmp, "wb");
+  std::fwrite("x", 1, 1, f);
+  std::fflush(f);
+  fsync(fileno(f));
+  std::fclose(f);
+  rename(tmp, final_path);
+  fsync_parent_directory(final_path);
+}
+
+void append_record(int fd, const void* buf) {
+  write_all(fd, buf, 8);
+  sync_now(fd);
+}

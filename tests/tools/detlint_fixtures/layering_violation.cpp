@@ -1,0 +1,13 @@
+// Fixture: include-layering violations.  Linted under the pretend path
+// src/sim/layering_violation.cpp, so includes of the service and analysis
+// layers point *up* the declared order and must fire; util and sim stay
+// legal; the angled include is outside the DAG.
+// Lint-test data only — never compiled.
+#include <vector>
+
+#include "service/service.hpp"
+#include "analysis/crossover.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+// detlint-allow(include-layering): fixture — transitional shim, tracked for removal
+#include "service/framed_log.hpp"

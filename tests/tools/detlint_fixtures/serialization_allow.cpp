@@ -1,0 +1,16 @@
+// Fixture: serialization-symmetry violations silenced by auditable allows.
+// Must produce zero findings.
+// Lint-test data only — never compiled.
+struct Widget {
+  void save_state(ByteWriter& w) const { w.u64(count_); }
+
+  // detlint-allow(serialization-symmetry): fixture — reader upgrades a legacy field
+  void load_state(ByteReader& r) {
+    count_ = r.u64();
+    legacy_ = r.u32();
+  }
+};
+
+void persist(const std::string& path, const ByteWriter& w) {
+  write_checksummed_file(path, w.buffer(), 3);  // detlint-allow(serialization-symmetry): fixture — one-off migration blob
+}

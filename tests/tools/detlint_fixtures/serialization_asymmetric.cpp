@@ -1,0 +1,21 @@
+// Fixture: serialization-symmetry violations — a save/load pair whose
+// type-tag sequences disagree, and a checksummed-file call with a bare
+// numeric version tag.
+// Lint-test data only — never compiled.
+struct Widget {
+  void save_state(ByteWriter& w) const {
+    w.u64(count_);
+    w.u32(flags_);
+    w.f64(rate_);
+  }
+
+  void load_state(ByteReader& r) {
+    count_ = r.u64();
+    flags_ = r.u64();  // writer used u32 — sequences diverge here
+    rate_ = r.f64();
+  }
+};
+
+void persist(const std::string& path, const ByteWriter& w) {
+  write_checksummed_file(path, w.buffer(), 3);  // bare literal version tag
+}

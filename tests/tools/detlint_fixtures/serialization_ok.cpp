@@ -1,0 +1,29 @@
+// Fixture: symmetric serialization — matching tag sequences, paired helpers,
+// the nested-ByteWriter-then-blob idiom, and a named version constant.
+// Must produce zero findings.
+// Lint-test data only — never compiled.
+inline constexpr std::uint32_t kWidgetVersion = 3;
+
+void save_rng(ByteWriter& w, const Rng& rng) { w.u64(rng.word()); }
+void load_rng(ByteReader& r, Rng& rng) { rng.set_word(r.u64()); }
+
+struct Widget {
+  void save_state(ByteWriter& w) const {
+    w.u64(count_);
+    save_rng(w, rng_);
+    ByteWriter dw;       // nested stream: reaches `w` only through blob()
+    driver_.save_state(dw);
+    w.blob(dw.buffer());
+  }
+
+  void load_state(ByteReader& r) {
+    count_ = r.u64();
+    load_rng(r, rng_);
+    ByteReader dr(r.blob(), "widget driver state");
+    driver_.load_state(dr);
+  }
+};
+
+void persist(const std::string& path, const ByteWriter& w) {
+  write_checksummed_file(path, w.buffer(), kWidgetVersion);
+}

@@ -1,0 +1,132 @@
+#include "detlint/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "detlint/rules.hpp"
+
+namespace hinet::detlint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Baseline parse_baseline(std::string_view text,
+                        std::vector<std::string>& errors) {
+  Baseline out;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 =
+        p1 == std::string_view::npos ? p1 : line.find('|', p1 + 1);
+    if (p2 == std::string_view::npos) {
+      errors.push_back("baseline line " + std::to_string(line_no) +
+                       ": expected 'path|rule|count'");
+      continue;
+    }
+    BaselineEntry entry;
+    entry.path = std::string(trim(line.substr(0, p1)));
+    entry.rule = std::string(trim(line.substr(p1 + 1, p2 - p1 - 1)));
+    const std::string_view count = trim(line.substr(p2 + 1));
+    if (entry.path.empty() || entry.rule.empty() || count.empty() ||
+        !std::all_of(count.begin(), count.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      errors.push_back("baseline line " + std::to_string(line_no) +
+                       ": expected 'path|rule|count'");
+      continue;
+    }
+    if (!is_known_rule(entry.rule)) {
+      errors.push_back("baseline line " + std::to_string(line_no) +
+                       ": unknown rule '" + entry.rule + "'");
+      continue;
+    }
+    entry.count = static_cast<std::size_t>(std::stoull(std::string(count)));
+    if (entry.count == 0) {
+      errors.push_back("baseline line " + std::to_string(line_no) +
+                       ": zero-count entry is dead weight; delete it");
+      continue;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Baseline load_baseline(const std::string& path,
+                       std::vector<std::string>& errors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    errors.push_back("cannot read baseline file " + path);
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_baseline(buf.str(), errors);
+}
+
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              const Baseline& base) {
+  std::map<std::pair<std::string, std::string>, std::size_t> budget;
+  for (const BaselineEntry& e : base.entries) {
+    budget[{e.path, e.rule}] += e.count;
+  }
+
+  BaselineResult out;
+  // Findings arrive sorted by line within each file, so consuming budget in
+  // order absorbs the lowest-line (grandfathered) findings first.
+  auto remaining = budget;
+  for (const Finding& f : findings) {
+    const auto it = remaining.find({f.path, f.rule});
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      ++out.suppressed;
+    } else {
+      out.fresh.push_back(f);
+    }
+  }
+  for (const auto& [key, left] : remaining) {
+    if (left == 0) continue;
+    out.stale.push_back(Finding{
+        key.first, 0, std::string(kRuleStaleBaseline),
+        "baseline grants " + std::to_string(budget[key]) + " '" + key.second +
+            "' finding(s) but only " + std::to_string(budget[key] - left) +
+            " remain — regenerate with --write-baseline so the baseline "
+            "only shrinks"});
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const Finding& f : findings) ++counts[{f.path, f.rule}];
+  std::string out =
+      "# detlint baseline: grandfathered findings, one 'path|rule|count' per "
+      "line.\n"
+      "# This file may only shrink; regenerate with detlint_tool "
+      "--write-baseline.\n";
+  for (const auto& [key, n] : counts) {
+    out += key.first + "|" + key.second + "|" + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hinet::detlint

@@ -1,0 +1,57 @@
+// Finding baseline: lets CI fail only on *new* findings while legacy debt is
+// paid down.
+//
+// The checked-in file (tools/detlint/baseline.txt) holds one entry per
+// (path, rule) pair with the number of findings grandfathered there:
+//
+//   # comment
+//   src/sim/engine.cpp|banned-time|2
+//
+// Applying the baseline suppresses up to `count` findings of that rule in
+// that file (lowest lines first — the grandfathered ones); anything beyond
+// the count is fresh and fails the run.  An entry whose count exceeds the
+// findings still present is *stale*: it is reported as a `stale-baseline`
+// finding so the file can only ever shrink, never silently rot.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detlint/linter.hpp"
+
+namespace hinet::detlint {
+
+struct BaselineEntry {
+  std::string path;
+  std::string rule;
+  std::size_t count = 0;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+struct BaselineResult {
+  std::vector<Finding> fresh;  // findings not covered by the baseline
+  std::vector<Finding> stale;  // stale-baseline findings (line 0)
+  std::size_t suppressed = 0;  // findings absorbed by baseline entries
+};
+
+// Parses `path|rule|count` lines; malformed lines are reported in `errors`
+// (prefixed with the 1-based line number) and skipped.
+Baseline parse_baseline(std::string_view text, std::vector<std::string>& errors);
+
+// Reads and parses a baseline file; a read failure is reported in `errors`.
+Baseline load_baseline(const std::string& path, std::vector<std::string>& errors);
+
+// Splits `findings` into fresh vs baseline-absorbed and surfaces stale
+// entries.  `findings` must already be fully suppressed/sorted lint output.
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              const Baseline& base);
+
+// Renders the baseline that would absorb exactly `findings`, sorted by
+// (path, rule) so regeneration is deterministic.
+std::string render_baseline(const std::vector<Finding>& findings);
+
+}  // namespace hinet::detlint

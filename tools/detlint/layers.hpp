@@ -1,0 +1,53 @@
+// The declared include-layer DAG for the include-layering rule.
+//
+// The manifest (tools/detlint/layers.txt) lists layers bottom-up; a file in
+// layer i may include headers from layers 0..i and nothing above.  Each
+// layer carries two prefix sets: file prefixes locate a source file's layer
+// from its repo-relative path ("src/sim/engine.cpp" → sim), include
+// prefixes locate an included header's layer from the include string
+// ("sim/engine.hpp" → sim).  Paths and includes matching no layer are
+// outside the DAG and never reported (system headers, third-party code).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hinet::detlint {
+
+struct Layer {
+  std::string name;
+  std::vector<std::string> file_prefixes;
+  std::vector<std::string> include_prefixes;
+};
+
+struct LayerManifest {
+  std::vector<Layer> layers;  // bottom-up; index is the layer's rank
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // Rank of the layer owning this source path / include string, or npos.
+  std::size_t layer_of_file(std::string_view generic_path) const;
+  std::size_t layer_of_include(std::string_view header) const;
+
+  // "util < graph < … < top" — used in finding messages.
+  std::string order_string() const;
+};
+
+struct ManifestParse {
+  LayerManifest manifest;
+  std::vector<std::string> errors;  // empty on success
+};
+
+// Parses the manifest grammar:
+//   # comment
+//   layer <name> <file-prefix>[,<file-prefix>...] <include-prefix>[,...]
+// An include-prefix list of "-" declares a layer with no include identity
+// (its headers are never included by layer name, e.g. the top layer).
+ManifestParse parse_layer_manifest(std::string_view text);
+
+// Reads and parses a manifest file; a read failure is reported as an error.
+ManifestParse load_layer_manifest(const std::string& path);
+
+}  // namespace hinet::detlint

@@ -175,10 +175,12 @@ bool suppressed(const Directives& d, const Finding& finding) {
 
 }  // namespace
 
-std::vector<Finding> lint_source(const SourceFile& file) {
+std::vector<Finding> lint_source(const SourceFile& file,
+                                 const LintOptions& opts) {
   const Directives d = parse_directives(file);
   std::vector<Finding> raw;
   run_rules(file, d.hot, raw);
+  run_token_rules(file, opts.layers, raw);
 
   std::vector<Finding> out = d.errors;  // never suppressible
   for (Finding& f : raw) {
@@ -190,18 +192,104 @@ std::vector<Finding> lint_source(const SourceFile& file) {
   return out;
 }
 
-std::vector<Finding> lint_text(std::string path, std::string_view text) {
-  return lint_source(scan_source(std::move(path), text));
+std::vector<Finding> lint_text(std::string path, std::string_view text,
+                               const LintOptions& opts) {
+  return lint_source(scan_source(std::move(path), text), opts);
 }
 
 std::optional<std::vector<Finding>> lint_file(const std::filesystem::path& file,
-                                              std::string path_for_rules) {
+                                              std::string path_for_rules,
+                                              const LintOptions& opts) {
   std::ifstream in(file, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream buf;
   buf << in.rdbuf();
   if (path_for_rules.empty()) path_for_rules = file.generic_string();
-  return lint_text(std::move(path_for_rules), buf.str());
+  return lint_text(std::move(path_for_rules), buf.str(), opts);
+}
+
+namespace {
+
+// Minimal fnmatch-style glob: '*' matches any run (including '/'), '?' one
+// character, '[...]'/' [!...]' a character class.  Iterative with single-star
+// backtracking, so it is linear-ish and cannot recurse deeply.
+bool glob_match(std::string_view pat, std::string_view text) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star_p = npos;
+  std::size_t star_t = 0;
+  auto class_match = [&](std::size_t at, char c, std::size_t& next) {
+    std::size_t i = at + 1;
+    bool negate = false;
+    if (i < pat.size() && (pat[i] == '!' || pat[i] == '^')) {
+      negate = true;
+      ++i;
+    }
+    bool hit = false;
+    bool first = true;
+    for (; i < pat.size() && (first || pat[i] != ']'); ++i, first = false) {
+      if (pat[i] == '-' && !first && i + 1 < pat.size() && pat[i + 1] != ']') {
+        if (pat[i - 1] <= c && c <= pat[i + 1]) hit = true;
+        ++i;
+      } else if (pat[i] == c) {
+        hit = true;
+      }
+    }
+    if (i >= pat.size()) return false;  // unterminated class: no match
+    next = i + 1;
+    return hit != negate;
+  };
+  while (t < text.size()) {
+    bool stepped = false;
+    if (p < pat.size()) {
+      if (pat[p] == '*') {
+        star_p = p++;
+        star_t = t;
+        continue;
+      }
+      if (pat[p] == '[') {
+        std::size_t next = 0;
+        if (class_match(p, text[t], next)) {
+          p = next;
+          ++t;
+          stepped = true;
+        }
+      } else if (pat[p] == '?' || pat[p] == text[t]) {
+        ++p;
+        ++t;
+        stepped = true;
+      }
+    }
+    if (stepped) continue;
+    if (star_p == npos) return false;
+    p = star_p + 1;
+    t = ++star_t;
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+bool has_glob_chars(std::string_view s) {
+  return s.find_first_of("*?[") != std::string_view::npos;
+}
+
+}  // namespace
+
+bool path_excluded(std::string_view generic_path,
+                   std::span<const std::string> excludes) {
+  for (const std::string& ex : excludes) {
+    if (!has_glob_chars(ex)) {
+      if (generic_path.find(ex) != std::string_view::npos) return true;
+      continue;
+    }
+    if (glob_match(ex, generic_path)) return true;
+    for (std::size_t i = generic_path.find('/');
+         i != std::string_view::npos; i = generic_path.find('/', i + 1)) {
+      if (glob_match(ex, generic_path.substr(i + 1))) return true;
+    }
+  }
+  return false;
 }
 
 std::vector<std::filesystem::path> collect_sources(
@@ -215,11 +303,7 @@ std::vector<std::filesystem::path> collect_sources(
         kExtensions.end()) {
       return false;
     }
-    const std::string generic = p.generic_string();
-    for (const std::string& ex : excludes) {
-      if (generic.find(ex) != std::string::npos) return false;
-    }
-    return true;
+    return !path_excluded(p.generic_string(), excludes);
   };
 
   std::vector<fs::path> out;

@@ -7,7 +7,12 @@
 // ordering, hash-order iteration) or an allocation in a declared hot path
 // without leaving an auditable suppression behind.
 //
-// Every rule is token/regex level on the code channel of source_scan.hpp —
+// v2 adds structural rules on the token stream of source_scan.hpp:
+// include-layering (declared layer DAG over the project include graph),
+// durability-ordering (fsync-before-rename / parent-dir-fsync / append
+// fdatasync), and serialization-symmetry (writer/reader type-tag lockstep).
+//
+// Every rule runs on the code channel or token stream of source_scan.hpp —
 // deliberately dependency-free (no libclang in the toolchain image) and
 // deterministic itself.  See docs/static_analysis.md for the rule catalog and
 // the suppression policy.
@@ -23,6 +28,14 @@
 #include "detlint/source_scan.hpp"
 
 namespace hinet::detlint {
+
+struct LayerManifest;  // layers.hpp
+
+// Per-run configuration.  Defaults preserve v1 behavior: token rules that
+// need external input (the layer manifest) stay off until it is supplied.
+struct LintOptions {
+  const LayerManifest* layers = nullptr;  // enables include-layering
+};
 
 struct Finding {
   std::string path;
@@ -43,21 +56,32 @@ bool is_known_rule(std::string_view name);
 // Lint already-scanned source.  Findings are sorted by line, suppressions
 // already applied; directive errors surface as `bad-directive` findings and
 // are never suppressible.
-std::vector<Finding> lint_source(const SourceFile& file);
+std::vector<Finding> lint_source(const SourceFile& file,
+                                 const LintOptions& opts = {});
 
 // Convenience: scan + lint a text buffer under the given path (the path
 // drives per-rule exemptions such as bench/ timers).
-std::vector<Finding> lint_text(std::string path, std::string_view text);
+std::vector<Finding> lint_text(std::string path, std::string_view text,
+                               const LintOptions& opts = {});
 
 // Read a file from disk and lint it; nullopt when the file is unreadable.
 // `path_for_rules` defaults to the generic form of `file`.
 std::optional<std::vector<Finding>> lint_file(
-    const std::filesystem::path& file, std::string path_for_rules = {});
+    const std::filesystem::path& file, std::string path_for_rules = {},
+    const LintOptions& opts = {});
+
+// True when `generic_path` matches one of `excludes`.  A pattern containing
+// a glob metacharacter (*, ?, [) is matched as a glob — '*' crosses '/' —
+// against the whole path and against every path suffix starting at a
+// component boundary, so `detlint_fixtures/*` excludes the directory
+// wherever the tree is rooted.  Any other pattern is a plain substring
+// (v1-compatible).  Every pass that walks files shares this predicate.
+bool path_excluded(std::string_view generic_path,
+                   std::span<const std::string> excludes);
 
 // Recursively collect lintable sources (.cpp/.cc/.cxx/.hpp/.hh/.h) under the
-// given files/directories, skipping any path that contains one of `excludes`
-// as a substring.  The result is sorted so the linter's own output order is
-// deterministic.
+// given files/directories, skipping anything `path_excluded` rejects.  The
+// result is sorted so the linter's own output order is deterministic.
 std::vector<std::filesystem::path> collect_sources(
     std::span<const std::string> roots, std::span<const std::string> excludes);
 

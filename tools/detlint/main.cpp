@@ -1,21 +1,35 @@
 // detlint CLI.  Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "detlint/baseline.hpp"
+#include "detlint/layers.hpp"
 #include "detlint/linter.hpp"
+#include "detlint/sarif.hpp"
 
 namespace {
 
 void print_usage(std::FILE* out) {
   std::fputs(
-      "usage: detlint [--list-rules] [--exclude SUBSTR]... <path>...\n"
+      "usage: detlint [--list-rules] [--exclude PATTERN]... [--layers FILE]\n"
+      "               [--baseline FILE] [--write-baseline] [--format=FMT]\n"
+      "               <path>...\n"
       "\n"
-      "Statically enforces the project's determinism invariants over the\n"
-      "given files and directories (recursed; .cpp/.cc/.cxx/.hpp/.hh/.h).\n"
+      "Statically enforces the project's determinism, layering and\n"
+      "durability invariants over the given files and directories\n"
+      "(recursed; .cpp/.cc/.cxx/.hpp/.hh/.h).\n"
       "\n"
-      "  --list-rules      print the rule catalog and exit\n"
-      "  --exclude SUBSTR  skip paths containing SUBSTR (repeatable)\n"
+      "  --list-rules       print the rule catalog and exit\n"
+      "  --exclude PATTERN  skip matching paths (substring, or glob when the\n"
+      "                     pattern contains *, ? or [; repeatable)\n"
+      "  --layers FILE      layer manifest enabling the include-layering rule\n"
+      "  --baseline FILE    suppress grandfathered findings listed in FILE;\n"
+      "                     stale entries are themselves findings\n"
+      "  --write-baseline   regenerate the --baseline file from this run's\n"
+      "                     findings and exit\n"
+      "  --format=FMT       output format: text (default) or sarif\n"
       "\n"
       "Suppress a finding with an auditable comment on the same or the\n"
       "preceding line (see docs/static_analysis.md for the policy).\n",
@@ -29,6 +43,19 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> roots;
   std::vector<std::string> excludes;
+  std::string layers_path;
+  std::string baseline_path;
+  bool write_baseline = false;
+  std::string format = "text";
+
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "detlint: %s needs an argument\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -37,17 +64,41 @@ int main(int argc, char** argv) {
     }
     if (arg == "--list-rules") {
       for (const RuleInfo& r : rule_catalog()) {
-        std::printf("%-22s %s\n", std::string(r.name).c_str(),
+        std::printf("%-24s %s\n", std::string(r.name).c_str(),
                     std::string(r.summary).c_str());
       }
       return 0;
     }
     if (arg == "--exclude") {
-      if (i + 1 >= argc) {
-        std::fputs("detlint: --exclude needs an argument\n", stderr);
-        return 2;
-      }
-      excludes.emplace_back(argv[++i]);
+      const char* v = need_value(i, "--exclude");
+      if (v == nullptr) return 2;
+      excludes.emplace_back(v);
+      continue;
+    }
+    if (arg == "--layers") {
+      const char* v = need_value(i, "--layers");
+      if (v == nullptr) return 2;
+      layers_path = v;
+      continue;
+    }
+    if (arg == "--baseline") {
+      const char* v = need_value(i, "--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      write_baseline = true;
+      continue;
+    }
+    if (arg.starts_with("--format=")) {
+      format = arg.substr(9);
+      continue;
+    }
+    if (arg == "--format") {
+      const char* v = need_value(i, "--format");
+      if (v == nullptr) return 2;
+      format = v;
       continue;
     }
     if (arg.starts_with("--")) {
@@ -61,6 +112,29 @@ int main(int argc, char** argv) {
     print_usage(stderr);
     return 2;
   }
+  if (format != "text" && format != "sarif") {
+    std::fprintf(stderr, "detlint: unknown format '%s' (text|sarif)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (write_baseline && baseline_path.empty()) {
+    std::fputs("detlint: --write-baseline needs --baseline FILE\n", stderr);
+    return 2;
+  }
+
+  LintOptions opts;
+  LayerManifest manifest;
+  if (!layers_path.empty()) {
+    ManifestParse parsed = load_layer_manifest(layers_path);
+    if (!parsed.errors.empty()) {
+      for (const std::string& err : parsed.errors) {
+        std::fprintf(stderr, "detlint: %s\n", err.c_str());
+      }
+      return 2;
+    }
+    manifest = std::move(parsed.manifest);
+    opts.layers = &manifest;
+  }
 
   const auto files = collect_sources(roots, excludes);
   if (files.empty()) {
@@ -68,24 +142,72 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::size_t finding_count = 0;
-  std::size_t files_with_findings = 0;
+  std::vector<Finding> all;
   for (const auto& file : files) {
-    const auto findings = lint_file(file);
+    const auto findings = lint_file(file, {}, opts);
     if (!findings) {
       std::fprintf(stderr, "detlint: cannot read %s\n",
                    file.generic_string().c_str());
       return 2;
     }
-    if (!findings->empty()) ++files_with_findings;
-    for (const Finding& f : *findings) {
+    all.insert(all.end(), findings->begin(), findings->end());
+  }
+
+  if (write_baseline) {
+    const std::string rendered = render_baseline(all);
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    out << rendered;
+    if (!out) {
+      std::fprintf(stderr, "detlint: cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "detlint: baselined %zu finding%s into %s\n",
+                 all.size(), all.size() == 1 ? "" : "s",
+                 baseline_path.c_str());
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    std::vector<std::string> errors;
+    const Baseline base = load_baseline(baseline_path, errors);
+    if (!errors.empty()) {
+      for (const std::string& err : errors) {
+        std::fprintf(stderr, "detlint: %s\n", err.c_str());
+      }
+      return 2;
+    }
+    BaselineResult result = apply_baseline(all, base);
+    suppressed = result.suppressed;
+    all = std::move(result.fresh);
+    all.insert(all.end(), result.stale.begin(), result.stale.end());
+  }
+
+  if (format == "sarif") {
+    std::fputs(to_sarif(all).c_str(), stdout);
+  } else {
+    for (const Finding& f : all) {
       std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
-      ++finding_count;
     }
   }
-  std::fprintf(stderr, "detlint: %zu finding%s in %zu of %zu files\n",
-               finding_count, finding_count == 1 ? "" : "s",
-               files_with_findings, files.size());
-  return finding_count == 0 ? 0 : 1;
+
+  std::size_t files_with_findings = 0;
+  {
+    std::string last;
+    for (const Finding& f : all) {
+      if (f.path != last) {
+        ++files_with_findings;
+        last = f.path;
+      }
+    }
+  }
+  std::fprintf(stderr, "detlint: %zu finding%s in %zu of %zu files",
+               all.size(), all.size() == 1 ? "" : "s", files_with_findings,
+               files.size());
+  if (suppressed > 0) {
+    std::fprintf(stderr, " (%zu baselined)", suppressed);
+  }
+  std::fputc('\n', stderr);
+  return all.empty() ? 0 : 1;
 }

@@ -310,7 +310,7 @@ void check_unordered_iteration(const SourceFile& file, const FlatCode& flat,
 }  // namespace
 
 std::span<const RuleInfo> rule_catalog() {
-  static const std::array<RuleInfo, 6> catalog = {{
+  static const std::array<RuleInfo, 10> catalog = {{
       {kRuleBadDirective,
        "malformed or unauditable detlint directive or suppression"},
       {kRuleBannedRandom,
@@ -318,11 +318,22 @@ std::span<const RuleInfo> rule_catalog() {
        "seed"},
       {kRuleBannedTime,
        "wall-clock reads outside bench/; runs must be pure in (spec, seed)"},
+      {kRuleDurabilityOrdering,
+       "crash-unsafe publish: rename without file fsync or parent-dir fsync, "
+       "or append path without fdatasync"},
       {kRuleHotPathAlloc,
        "heap allocation inside a declared // hot-path region"},
+      {kRuleIncludeLayering,
+       "project include that violates the declared layer DAG "
+       "(tools/detlint/layers.txt)"},
       {kRulePointerOrder,
        "ordering keyed on pointer values (allocation order, not program "
        "state)"},
+      {kRuleSerializationSymmetry,
+       "save/load pair whose write and read type-tag sequences disagree, or "
+       "a bare-literal format version tag"},
+      {kRuleStaleBaseline,
+       "baseline entry no longer matched by any finding; shrink the baseline"},
       {kRuleUnorderedIteration,
        "iteration over unordered containers (hash order is "
        "implementation-defined)"},

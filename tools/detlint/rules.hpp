@@ -1,10 +1,12 @@
-// Internal rule registry for detlint.  Each rule scans the code channel of a
-// SourceFile; suppression handling lives in linter.cpp.
+// Internal rule registry for detlint.  The v1 rules scan the code channel of
+// a SourceFile; the v2 rules walk its token stream.  Suppression handling
+// lives in linter.cpp.
 #pragma once
 
 #include <string_view>
 #include <vector>
 
+#include "detlint/layers.hpp"
 #include "detlint/linter.hpp"
 #include "detlint/source_scan.hpp"
 
@@ -18,11 +20,24 @@ inline constexpr std::string_view kRuleUnorderedIteration =
     "unordered-iteration";
 inline constexpr std::string_view kRuleHotPathAlloc = "hot-path-alloc";
 inline constexpr std::string_view kRuleBadDirective = "bad-directive";
+inline constexpr std::string_view kRuleIncludeLayering = "include-layering";
+inline constexpr std::string_view kRuleDurabilityOrdering =
+    "durability-ordering";
+inline constexpr std::string_view kRuleSerializationSymmetry =
+    "serialization-symmetry";
+inline constexpr std::string_view kRuleStaleBaseline = "stale-baseline";
 
 // Runs every pattern rule over `file`.  `hot[i]` marks line i+1 as inside a
 // declared hot-path region.  Raw findings are appended to `out`
 // (suppressions not yet applied).
 void run_rules(const SourceFile& file, const std::vector<char>& hot,
                std::vector<Finding>& out);
+
+// Runs the token-stream rules: durability-ordering and
+// serialization-symmetry always, include-layering when a layer manifest is
+// supplied.  Raw findings are appended to `out` (suppressions not yet
+// applied).
+void run_token_rules(const SourceFile& file, const LayerManifest* layers,
+                     std::vector<Finding>& out);
 
 }  // namespace hinet::detlint

@@ -1,13 +1,31 @@
-// Comment/string-aware source splitter for the determinism linter.
+// Token-aware source scanner for the determinism linter.
 //
-// Every physical line is split into two channels: the *code* channel (string
-// and character literal contents blanked, comments removed) and the *comment*
-// channel (comment text only).  Rules match against the code channel, so a
-// banned identifier quoted in a string or mentioned in prose never trips a
-// rule; suppression and hot-path directives are parsed from the comment
-// channel, so they survive the scan.
+// One pass over the raw text produces three synchronized views of a
+// translation unit:
+//
+//   * the *line channels* — every physical line split into a code channel
+//     (string and character literal contents blanked, comments removed) and a
+//     comment channel (comment text only).  The v1 regex rules match against
+//     the code channel, so a banned identifier quoted in a string or
+//     mentioned in prose never trips a rule; suppression and hot-path
+//     directives are parsed from the comment channel.
+//
+//   * the *token stream* — identifiers, numbers, literals and punctuation
+//     with their 1-based line numbers.  The v2 flow rules (function-body
+//     durability ordering, save/load symmetry) walk this stream instead of
+//     re-deriving structure from regexes.  Raw strings, digit separators
+//     (1'000'000) and line-spliced preprocessor directives are handled here
+//     once, so every rule sees the same tokenization.
+//
+//   * the *include list* — each #include directive with its header text and
+//     whether it was quoted or angled, feeding the include-layering rule.
+//
+// Preprocessor directives are collapsed into a single kPp token each (their
+// text stays visible in the code channel for the v1 rules), so a macro body
+// can never masquerade as a function definition to the token rules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,11 +37,35 @@ struct SourceLine {
   std::string comment;
 };
 
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifier or keyword
+  kNumber,  // pp-number, digit separators included
+  kString,  // string literal (ordinary or raw); text is empty
+  kChar,    // character literal; text is empty
+  kPunct,   // one punctuator; "::" and "->" are single tokens
+  kPp,      // one whole preprocessor directive, line splices joined
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;  // 1-based line the token starts on
+};
+
+struct IncludeDirective {
+  std::string header;  // text between the delimiters, e.g. "sim/engine.hpp"
+  std::size_t line;    // 1-based
+  bool angled;         // <...> (system) rather than "..." (project)
+};
+
 struct SourceFile {
   // Generic (forward-slash) path, exactly as handed to the linter.  Path-based
-  // rule exemptions (e.g. bench timers) match against this string.
+  // rule exemptions (e.g. bench timers) and the layer manifest match against
+  // this string.
   std::string path;
   std::vector<SourceLine> lines;  // lines[i] is physical line i + 1
+  std::vector<Token> tokens;      // code tokens only; comments never appear
+  std::vector<IncludeDirective> includes;
 };
 
 SourceFile scan_source(std::string path, std::string_view text);

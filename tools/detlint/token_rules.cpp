@@ -1,0 +1,468 @@
+// Token-stream rules: include-layering, durability-ordering and
+// serialization-symmetry.
+//
+// These rules reason about *structure* — which function body a call sits in,
+// the order of calls, the pairing of writer and reader — so they walk the
+// token stream from source_scan.hpp instead of matching lines.  The function
+// finder is a heuristic (no full C++ parse without libclang), tuned to the
+// codebase's idiom: it recognises `name(params) [qualifiers] { … }` and
+// constructor initializer lists, and deliberately ignores anything it cannot
+// classify rather than guessing.
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "detlint/rules.hpp"
+
+namespace hinet::detlint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+bool name_in(std::string_view name, std::span<const std::string_view> set) {
+  return std::find(set.begin(), set.end(), name) != set.end();
+}
+
+// Control-flow and expression keywords that look like `name (` but never
+// start a function definition.
+constexpr std::array<std::string_view, 16> kNotAFunction = {
+    "if",       "for",    "while",    "switch",   "catch",
+    "return",   "sizeof", "alignof",  "decltype", "new",
+    "delete",   "throw",  "co_await", "co_return", "co_yield",
+    "operator"};
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view o, std::string_view c) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], o)) {
+      ++depth;
+    } else if (is_punct(toks[i], c)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return npos;
+}
+
+struct Definition {
+  std::string name;         // unqualified function name
+  std::size_t line;         // line of the name token
+  std::size_t params_begin; // token index of the parameter-list '('
+  std::size_t params_end;   // token index of the matching ')'
+  std::size_t body_begin;   // token index of the opening '{'
+  std::size_t body_end;     // token index of the matching '}'
+};
+
+// Finds function definitions at any nesting level outside other function
+// bodies (so in-class methods are found, but a lambda inside a body belongs
+// to that body).  Unclassifiable constructs are skipped, never guessed at.
+std::vector<Definition> find_definitions(const std::vector<Token>& toks) {
+  std::vector<Definition> defs;
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || i + 1 >= toks.size() ||
+        !is_punct(toks[i + 1], "(") ||
+        name_in(t.text, kNotAFunction)) {
+      ++i;
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == npos) break;
+
+    std::size_t body = npos;
+    bool init_list = false;
+    std::size_t u = close + 1;
+    for (; u < toks.size(); ++u) {
+      const Token& q = toks[u];
+      if (q.kind == TokKind::kPp) continue;
+      if (q.kind == TokKind::kIdent || q.kind == TokKind::kNumber) continue;
+      if (q.kind == TokKind::kString || q.kind == TokKind::kChar) break;
+      const std::string& p = q.text;
+      if (p == "(") {  // noexcept(...), attribute args, member init
+        const std::size_t c2 = match_forward(toks, u, "(", ")");
+        if (c2 == npos) { u = toks.size(); break; }
+        u = c2;
+        continue;
+      }
+      if (!init_list) {
+        if (p == "{") { body = u; break; }
+        if (p == ":") { init_list = true; continue; }
+        if (p == "->" || p == "::" || p == "<" || p == ">" || p == "&" ||
+            p == "*" || p == "[" || p == "]") {
+          continue;
+        }
+        break;  // ';' (declaration), '=', ',', … — not a definition
+      }
+      // Constructor initializer list: a '{' here is either a member
+      // brace-init (followed by ',' or the body's '{') or the body itself.
+      if (p == "{") {
+        const std::size_t c2 = match_forward(toks, u, "{", "}");
+        if (c2 == npos) { u = toks.size(); break; }
+        std::size_t next = c2 + 1;
+        while (next < toks.size() && toks[next].kind == TokKind::kPp) ++next;
+        if (next < toks.size() && is_punct(toks[next], ",")) {
+          u = next;
+          continue;
+        }
+        if (next < toks.size() && is_punct(toks[next], "{")) {
+          body = next;
+          break;
+        }
+        body = u;  // no further member follows: this '{' was the body
+        break;
+      }
+      if (p == ";") break;
+    }
+    if (body == npos) {
+      i = close + 1;
+      continue;
+    }
+    const std::size_t end = match_forward(toks, body, "{", "}");
+    if (end == npos) break;
+    defs.push_back(Definition{t.text, t.line, i + 1, close, body, end});
+    i = end + 1;
+  }
+  return defs;
+}
+
+struct CallEvent {
+  std::string name;
+  std::size_t line;
+  std::size_t tok;  // index of the name token
+  bool member;      // preceded by '.' or '->'
+};
+
+std::vector<CallEvent> call_events(const std::vector<Token>& toks,
+                                   std::size_t begin, std::size_t end) {
+  std::vector<CallEvent> out;
+  for (std::size_t i = begin; i < end && i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const bool member =
+        i > begin && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    out.push_back(CallEvent{toks[i].text, toks[i].line, i, member});
+  }
+  return out;
+}
+
+// ── durability-ordering ─────────────────────────────────────────────────
+
+constexpr std::array<std::string_view, 8> kWriteCalls = {
+    "write", "fwrite", "pwrite", "writev", "write_all",
+    "fputs", "fprintf", "fputc"};
+constexpr std::array<std::string_view, 5> kSyncCalls = {
+    "fsync", "fdatasync", "sync_now", "sync_all", "sync_file_range"};
+
+void check_durability(const SourceFile& file, const Definition& def,
+                      const std::vector<CallEvent>& events,
+                      std::vector<Finding>& out) {
+  auto is_write = [](const CallEvent& e) {
+    return name_in(e.name, kWriteCalls);
+  };
+  auto is_sync = [](const CallEvent& e) { return name_in(e.name, kSyncCalls); };
+
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    if (events[k].name != "rename" || events[k].member) continue;
+
+    std::size_t last_write = npos;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (is_write(events[j])) last_write = j;
+    }
+    if (last_write != npos) {
+      bool synced = false;
+      for (std::size_t j = last_write + 1; j < k; ++j) {
+        if (is_sync(events[j])) synced = true;
+      }
+      if (!synced) {
+        out.push_back(Finding{
+            file.path, events[k].line,
+            std::string(kRuleDurabilityOrdering),
+            "write-then-rename publish in '" + def.name +
+                "' renames bytes that were never fsynced: a crash-ordered "
+                "disk may publish the name before the contents (fsync the "
+                "file, then rename)"});
+      }
+    }
+    bool parent_synced = false;
+    for (std::size_t j = k + 1; j < events.size(); ++j) {
+      if (events[j].name == "fsync_parent_directory") parent_synced = true;
+    }
+    if (!parent_synced) {
+      out.push_back(Finding{
+          file.path, events[k].line, std::string(kRuleDurabilityOrdering),
+          "rename in '" + def.name +
+              "' is not followed by fsync_parent_directory(): the new "
+              "directory entry lives in the parent inode and can be lost "
+              "by a crash after the publish"});
+    }
+  }
+
+  // FramedLog-style append paths must make appended bytes durable before the
+  // caller can treat the record as acknowledged.
+  auto lower = def.name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower.find("append") != std::string::npos) {
+    std::size_t last_write = npos;
+    for (std::size_t j = 0; j < events.size(); ++j) {
+      if (is_write(events[j])) last_write = j;
+    }
+    if (last_write != npos) {
+      bool synced = false;
+      for (std::size_t j = last_write + 1; j < events.size(); ++j) {
+        if (is_sync(events[j])) synced = true;
+      }
+      if (!synced) {
+        out.push_back(Finding{
+            file.path, events[last_write].line,
+            std::string(kRuleDurabilityOrdering),
+            "append path '" + def.name +
+                "' writes without fdatasync before returning: a crash could "
+                "lose a record the caller already treated as acknowledged"});
+      }
+    }
+  }
+}
+
+// ── serialization-symmetry ──────────────────────────────────────────────
+
+constexpr std::array<std::string_view, 10> kIoMethods = {
+    "u8", "u16", "u32", "u64", "f64", "bytes", "blob",
+    "vec_u64", "vec_size", "vec_u8"};
+
+enum class SerRole { kWriter, kReader };
+
+std::optional<std::pair<SerRole, std::string>> serialization_name(
+    std::string_view name) {
+  if (name.starts_with("save_") && name.size() > 5) {
+    return std::pair{SerRole::kWriter, std::string(name.substr(5))};
+  }
+  if (name.starts_with("load_") && name.size() > 5) {
+    return std::pair{SerRole::kReader, std::string(name.substr(5))};
+  }
+  if (name.starts_with("restore_") && name.size() > 8) {
+    return std::pair{SerRole::kReader, std::string(name.substr(8))};
+  }
+  return std::nullopt;
+}
+
+// Name of the first ByteWriter/ByteReader reference parameter in the
+// definition's parameter list, or "" when it has none.
+std::string stream_param(const std::vector<Token>& toks,
+                         const Definition& def) {
+  for (std::size_t i = def.params_begin + 1; i + 1 < def.params_end; ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "ByteWriter" && toks[i].text != "ByteReader")) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < def.params_end; ++j) {
+      if (toks[j].kind == TokKind::kIdent) return toks[j].text;
+      if (!is_punct(toks[j], "&") && !is_punct(toks[j], "*")) break;
+    }
+  }
+  return {};
+}
+
+// The ordered type-tag sequence of a writer or reader body: ByteWriter /
+// ByteReader method calls by name, plus save_x/load_x helper calls applied
+// to the body's own stream parameter, normalized to a shared "pair:x" tag
+// so symmetric helpers match.  A helper handed a *different* stream (the
+// nested-ByteWriter-then-blob idiom) is skipped — its bytes reach the main
+// stream through the blob tag, which is already counted.
+std::vector<std::string> tag_sequence(const std::vector<Token>& toks,
+                                      const std::vector<CallEvent>& events,
+                                      SerRole role,
+                                      const std::string& stream) {
+  std::vector<std::string> tags;
+  for (const CallEvent& e : events) {
+    if (e.member && name_in(e.name, kIoMethods)) {
+      tags.push_back(e.name);
+      continue;
+    }
+    const auto ser = serialization_name(e.name);
+    if (!ser.has_value() || ser->first != role) continue;
+    if (!stream.empty()) {
+      const std::size_t close = match_forward(toks, e.tok + 1, "(", ")");
+      bool uses_stream = false;
+      for (std::size_t i = e.tok + 2; close != npos && i < close; ++i) {
+        if (toks[i].kind == TokKind::kIdent && toks[i].text == stream) {
+          uses_stream = true;
+          break;
+        }
+      }
+      if (!uses_stream) continue;
+    }
+    tags.push_back("pair:" + ser->second);
+  }
+  return tags;
+}
+
+std::string join_tags(const std::vector<std::string>& tags) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (i > 0) out += ' ';
+    if (i == 12 && tags.size() > 13) {
+      out += "… +" + std::to_string(tags.size() - i) + " more";
+      break;
+    }
+    out += tags[i];
+  }
+  out += ']';
+  return out;
+}
+
+void check_symmetry(const SourceFile& file,
+                    const std::vector<Definition>& defs,
+                    std::vector<Finding>& out) {
+  struct SerDef {
+    const Definition* def;
+    SerRole role;
+    std::string suffix;
+    bool consumed = false;
+  };
+  std::vector<SerDef> sers;
+  for (const Definition& d : defs) {
+    const auto ser = serialization_name(d.name);
+    if (ser.has_value()) sers.push_back(SerDef{&d, ser->first, ser->second});
+  }
+
+  auto pair_of = [&](std::size_t w) -> std::size_t {
+    for (std::size_t j = w + 1; j < sers.size(); ++j) {  // nearest following…
+      if (!sers[j].consumed && sers[j].role == SerRole::kReader &&
+          sers[j].suffix == sers[w].suffix) {
+        return j;
+      }
+    }
+    for (std::size_t j = w; j-- > 0;) {  // …else nearest preceding
+      if (!sers[j].consumed && sers[j].role == SerRole::kReader &&
+          sers[j].suffix == sers[w].suffix) {
+        return j;
+      }
+    }
+    return npos;
+  };
+
+  for (std::size_t w = 0; w < sers.size(); ++w) {
+    if (sers[w].role != SerRole::kWriter || sers[w].consumed) continue;
+    const std::size_t r = pair_of(w);
+    if (r == npos) continue;  // counterpart in another TU — not checkable here
+    sers[w].consumed = true;
+    sers[r].consumed = true;
+
+    const auto writer_events = call_events(
+        /*toks=*/file.tokens, sers[w].def->body_begin, sers[w].def->body_end);
+    const auto reader_events = call_events(
+        /*toks=*/file.tokens, sers[r].def->body_begin, sers[r].def->body_end);
+    const auto wtags =
+        tag_sequence(file.tokens, writer_events, SerRole::kWriter,
+                     stream_param(file.tokens, *sers[w].def));
+    const auto rtags =
+        tag_sequence(file.tokens, reader_events, SerRole::kReader,
+                     stream_param(file.tokens, *sers[r].def));
+    if (wtags != rtags) {
+      out.push_back(Finding{
+          file.path, sers[r].def->line,
+          std::string(kRuleSerializationSymmetry),
+          "save/load asymmetry: '" + sers[w].def->name + "' (line " +
+              std::to_string(sers[w].def->line) + ") writes " +
+              join_tags(wtags) + " but '" + sers[r].def->name + "' reads " +
+              join_tags(rtags) +
+              " — writer and reader must stay in lockstep"});
+    }
+  }
+}
+
+// Version tags handed to the checksummed-file helpers must be named
+// constants shared by writer and reader; a bare literal on one side is
+// exactly the drift the format guard exists to stop.
+void check_version_guard(const SourceFile& file,
+                         const std::vector<CallEvent>& events,
+                         std::vector<Finding>& out) {
+  for (const CallEvent& e : events) {
+    if (e.member || (e.name != "write_checksummed_file" &&
+                     e.name != "read_checksummed_file")) {
+      continue;
+    }
+    const std::size_t open = e.tok + 1;
+    const std::size_t close = match_forward(file.tokens, open, "(", ")");
+    if (close == npos) continue;
+    // Split the argument list at top-level commas; the version tag is the
+    // third argument.
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t arg_start = open + 1;
+    int depth = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      const Token& t = file.tokens[i];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "{" || t.text == "[" || t.text == "<") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "}" || t.text == "]" ||
+                 t.text == ">") {
+        --depth;
+      } else if (t.text == "," && depth == 0) {
+        args.emplace_back(arg_start, i);
+        arg_start = i + 1;
+      }
+    }
+    args.emplace_back(arg_start, close);
+    if (args.size() < 3) continue;
+    bool named = false;
+    bool literal = false;
+    for (std::size_t i = args[2].first; i < args[2].second; ++i) {
+      if (file.tokens[i].kind == TokKind::kIdent) named = true;
+      if (file.tokens[i].kind == TokKind::kNumber) literal = true;
+    }
+    if (literal && !named) {
+      out.push_back(Finding{
+          file.path, e.line, std::string(kRuleSerializationSymmetry),
+          "'" + e.name +
+              "' is passed a bare numeric version tag; use a named "
+              "constant (kVersion) shared by the writer and the reader so "
+              "the two sides cannot drift apart"});
+    }
+  }
+}
+
+// ── include-layering ────────────────────────────────────────────────────
+
+void check_layering(const SourceFile& file, const LayerManifest& layers,
+                    std::vector<Finding>& out) {
+  const std::size_t from = layers.layer_of_file(file.path);
+  if (from == LayerManifest::npos) return;
+  for (const IncludeDirective& inc : file.includes) {
+    if (inc.angled) continue;  // system/third-party headers are outside the DAG
+    const std::size_t to = layers.layer_of_include(inc.header);
+    if (to == LayerManifest::npos || to <= from) continue;
+    out.push_back(Finding{
+        file.path, inc.line, std::string(kRuleIncludeLayering),
+        "layer '" + layers.layers[from].name + "' may not include \"" +
+            inc.header + "\" from higher layer '" + layers.layers[to].name +
+            "' (declared order: " + layers.order_string() + ")"});
+  }
+}
+
+}  // namespace
+
+void run_token_rules(const SourceFile& file, const LayerManifest* layers,
+                     std::vector<Finding>& out) {
+  const std::vector<Definition> defs = find_definitions(file.tokens);
+  for (const Definition& def : defs) {
+    const auto events = call_events(file.tokens, def.body_begin, def.body_end);
+    check_durability(file, def, events, out);
+    check_version_guard(file, events, out);
+  }
+  check_symmetry(file, defs, out);
+  if (layers != nullptr) check_layering(file, *layers, out);
+}
+
+}  // namespace hinet::detlint
