@@ -1,12 +1,16 @@
 #include "service/framed_log.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+
+#include "util/require.hpp"
 
 namespace hinet {
 
@@ -24,15 +28,64 @@ std::string errno_detail(const std::string& what, const std::string& path) {
 
 FramedLog::FramedLog(std::string path, std::uint32_t file_magic,
                      std::uint16_t version, std::uint32_t record_magic,
-                     std::string what)
+                     std::string what, Access access)
     : path_(std::move(path)),
       file_magic_(file_magic),
       version_(version),
       record_magic_(record_magic),
-      what_(std::move(what)) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd_ < 0) {
-    throw IoError(errno_detail("cannot open " + what_, path_));
+      what_(std::move(what)),
+      access_(access) {
+  if (access_ == Access::kReadOnly) {
+    fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) {
+      if (errno == ENOENT) return;  // a log never written reads as empty
+      throw IoError(errno_detail("cannot open " + what_, path_));
+    }
+  } else {
+    // The writer lock must be held *before* the replay below: a second
+    // writer that replayed a stale end-of-file and then appended would
+    // overwrite frames the first writer fsynced after our read.  The
+    // retry loop covers the holder compacting (rename replaces the
+    // inode) between our open and our lock.
+    for (;;) {
+      fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+      if (fd_ < 0) {
+        throw IoError(errno_detail("cannot open " + what_, path_));
+      }
+      const int op =
+          LOCK_EX | (access_ == Access::kExclusive ? LOCK_NB : 0);
+      bool locked = false;
+      while (!locked) {
+        if (::flock(fd_, op) == 0) {
+          locked = true;
+        } else if (errno == EINTR) {
+          continue;
+        } else if (errno == EWOULDBLOCK) {
+          ::close(fd_);
+          fd_ = -1;
+          throw ConcurrentWriterError(
+              what_ + " at " + path_ +
+              " is held by another writer — a FramedLog is single-writer "
+              "(interleaved frames would corrupt it); retry after the "
+              "holder closes, or open kReadOnly to observe");
+        } else {
+          const IoError err(errno_detail("cannot lock " + what_, path_));
+          ::close(fd_);
+          fd_ = -1;
+          throw err;
+        }
+      }
+      struct ::stat opened {};
+      struct ::stat current {};
+      if (::fstat(fd_, &opened) == 0 &&
+          ::stat(path_.c_str(), &current) == 0 &&
+          opened.st_ino == current.st_ino &&
+          opened.st_dev == current.st_dev) {
+        break;  // we hold the lock on the inode `path_` names
+      }
+      ::close(fd_);  // the holder compacted under us; lock the new file
+      fd_ = -1;
+    }
   }
 
   std::vector<std::uint8_t> raw;
@@ -63,6 +116,7 @@ FramedLog::~FramedLog() {
 
 void FramedLog::replay_and_truncate(std::vector<std::uint8_t> raw) {
   if (raw.empty()) {
+    if (access_ == Access::kReadOnly) return;  // observe, never stamp
     // Fresh log: stamp the header, then make both the bytes and the file's
     // directory entry durable.
     ByteWriter w;
@@ -123,6 +177,10 @@ void FramedLog::replay_and_truncate(std::vector<std::uint8_t> raw) {
   }
   dropped_bytes_ = raw.size() - valid_end;
 
+  // A reader reports the torn tail but must not repair it — that is the
+  // writer's job, under the writer lock.
+  if (access_ == Access::kReadOnly) return;
+
   if (dropped_bytes_ > 0) {
     if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
       throw IoError(
@@ -152,7 +210,16 @@ void FramedLog::sync_now() {
   }
 }
 
+void FramedLog::require_writable(const char* action) const {
+  if (access_ == Access::kReadOnly) {
+    throw PreconditionError("cannot " + std::string(action) + " " + what_ +
+                            " at " + path_ +
+                            ": the log was opened read-only");
+  }
+}
+
 void FramedLog::append(std::span<const std::uint8_t> payload) {
+  require_writable("append to");
   ByteWriter record;
   record.u32(record_magic_);
   record.u64(payload.size());
@@ -164,9 +231,13 @@ void FramedLog::append(std::span<const std::uint8_t> payload) {
 }
 
 void FramedLog::compact(const std::vector<std::vector<std::uint8_t>>& keep) {
-  const std::string tmp = path_ + ".tmp";
+  require_writable("compact");
+  // Per-process-unique temp name: two processes must never share an
+  // in-flight compaction sibling (the writer lock already serializes
+  // compaction of *this* log, but the name discipline is uniform).
+  const std::string tmp = unique_temp_path(path_);
   const int tmp_fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (tmp_fd < 0) {
     throw IoError(errno_detail("cannot open compaction sibling for " + what_,
                                tmp));
@@ -196,29 +267,26 @@ void FramedLog::compact(const std::vector<std::vector<std::uint8_t>>& keep) {
     done += static_cast<std::size_t>(wrote);
   }
   ok = ok && ::fsync(tmp_fd) == 0;
-  const bool closed = ::close(tmp_fd) == 0;
-  if (!ok || !closed) {
+  // Take the writer lock on the *new* inode before it becomes `path_`:
+  // the rename must never expose a window where a waiting opener can
+  // lock the fresh file while we still consider ourselves the writer.
+  ok = ok && ::flock(tmp_fd, LOCK_EX | LOCK_NB) == 0;
+  if (!ok) {
+    ::close(tmp_fd);
     std::remove(tmp.c_str());
     throw IoError(errno_detail("short write compacting " + what_, tmp));
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::close(tmp_fd);
     std::remove(tmp.c_str());
     throw IoError(errno_detail("cannot publish compacted " + what_, path_));
   }
   fsync_parent_directory(path_);
 
-  // Continue appending to the compacted file.
-  const int new_fd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
-  if (new_fd < 0) {
-    throw IoError(errno_detail("cannot reopen compacted " + what_, path_));
-  }
-  if (::lseek(new_fd, 0, SEEK_END) < 0) {
-    const IoError err(errno_detail("lseek failed on " + what_, path_));
-    ::close(new_fd);
-    throw err;
-  }
+  // Continue appending through the already-positioned, already-locked fd
+  // (closing the old fd releases the old inode's lock with it).
   ::close(fd_);
-  fd_ = new_fd;
+  fd_ = tmp_fd;
   records_ = keep;
 }
 

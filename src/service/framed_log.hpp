@@ -17,6 +17,16 @@
 // that file is not this log, and "salvaging" it would destroy someone
 // else's data.  Creating a fresh log fsyncs the parent directory, so even
 // the file's existence survives power failure.
+//
+// A writable log is single-writer, enforced with flock(LOCK_EX) *before*
+// the open-time replay (a second writer replaying a stale end-of-file and
+// then appending would overwrite the first writer's frames).  kExclusive
+// refuses a contended log with a typed ConcurrentWriterError; kWait
+// blocks until the holder closes — the mode multi-process drains use for
+// their short append-and-close critical sections.  kReadOnly takes no
+// lock, never writes (no header stamping, no tail truncation), and
+// treats a missing file as an empty log, so status/query tooling can
+// observe a live system without perturbing it.
 #pragma once
 
 #include <cstdint>
@@ -28,18 +38,36 @@
 
 namespace hinet {
 
+/// A second writer tried to open a FramedLog that another process (or
+/// another handle in this process) holds open for writing.  Derives
+/// IoError but maps to the *transient* exit code: the holder will close,
+/// and retrying is the right move — interleaved frames never are.
+class ConcurrentWriterError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 class FramedLog {
  public:
-  /// Opens (creating if absent) and replays the log at `path`.  `what`
-  /// names the artifact in every diagnostic ("results-store WAL").
+  enum class Access {
+    kExclusive,  ///< writable; a contended lock is a ConcurrentWriterError
+    kWait,       ///< writable; block until the current writer closes
+    kReadOnly,   ///< no lock, no writes; missing file reads as empty
+  };
+
+  /// Opens (creating if absent, unless read-only) and replays the log at
+  /// `path`.  `what` names the artifact in every diagnostic
+  /// ("results-store WAL").
   FramedLog(std::string path, std::uint32_t file_magic, std::uint16_t version,
-            std::uint32_t record_magic, std::string what);
+            std::uint32_t record_magic, std::string what,
+            Access access = Access::kExclusive);
   ~FramedLog();
 
   FramedLog(const FramedLog&) = delete;
   FramedLog& operator=(const FramedLog&) = delete;
 
   const std::string& path() const { return path_; }
+  Access access() const { return access_; }
 
   /// Every intact record replayed at open, in append order, plus records
   /// appended through this handle since.
@@ -63,12 +91,14 @@ class FramedLog {
   void replay_and_truncate(std::vector<std::uint8_t> raw);
   void write_all(const std::uint8_t* data, std::size_t len);
   void sync_now();
+  void require_writable(const char* action) const;
 
   std::string path_;
   std::uint32_t file_magic_ = 0;
   std::uint16_t version_ = 0;
   std::uint32_t record_magic_ = 0;
   std::string what_;
+  Access access_ = Access::kExclusive;
   int fd_ = -1;
   std::vector<std::vector<std::uint8_t>> records_;
   std::size_t dropped_bytes_ = 0;

@@ -15,15 +15,18 @@ namespace hinet {
 
 namespace {
 
-// WAL record kinds.  A record is {u8 kind, u64 job hash}.
+// WAL record kinds.  A v2 record is {u8 kind, u64 job hash, u64 fencing
+// token} (token 0 = unfenced publish).
 constexpr std::uint8_t kWalIntent = 1;
 constexpr std::uint8_t kWalCommit = 2;
 constexpr std::uint8_t kWalRollback = 3;
 
-std::vector<std::uint8_t> wal_record(std::uint8_t kind, std::uint64_t hash) {
+std::vector<std::uint8_t> wal_record(std::uint8_t kind, std::uint64_t hash,
+                                     std::uint64_t token) {
   ByteWriter w;
   w.u8(kind);
   w.u64(hash);
+  w.u64(token);
   return w.take();
 }
 
@@ -43,46 +46,67 @@ bool file_exists(const std::string& path) {
 
 }  // namespace
 
-ResultsStore::ResultsStore(std::string dir) : dir_(std::move(dir)) {
+ResultsStore::ResultsStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
   HINET_REQUIRE(!dir_.empty(), "results store needs a directory path");
+  if (options_.read_only) {
+    // Observe only: no directory creation, no locks, no WAL, no recovery.
+    entries_ = read_index_from_disk();
+    return;
+  }
   if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
     throw IoError("cannot create results-store directory " + dir_ + ": " +
                   std::strerror(errno));
   }
-
-  wal_ = std::make_unique<FramedLog>(dir_ + "/wal.hwl", kWalMagic, kWalVersion,
-                                     kWalRecordMagic, "results-store WAL");
-  counters_.salvaged_wal_bytes = wal_->dropped_bytes();
-
-  // Load the index (all-or-nothing: it is rename-atomic, so corruption is
-  // real corruption, not a crash artifact — refuse loudly).
-  const std::string index_path = dir_ + "/index.hix";
-  if (file_exists(index_path)) {
-    const std::vector<std::uint8_t> payload = read_checksummed_file(
-        index_path, kIndexMagic, kIndexVersion, "results-store index");
-    ByteReader r(payload, "results-store index payload");
-    const std::uint64_t count = r.u64();
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::uint64_t hash = r.u64();
-      const auto spec_bytes = r.blob();
-      entries_.insert_or_assign(
-          hash, Entry{{spec_bytes.begin(), spec_bytes.end()}});
-    }
-    r.expect_done();
-  }
-
   recover();
 }
 
+std::map<std::uint64_t, ResultsStore::Entry>
+ResultsStore::read_index_from_disk() const {
+  // All-or-nothing: the index is rename-atomic, so corruption is real
+  // corruption, not a crash artifact — refuse loudly.
+  std::map<std::uint64_t, Entry> entries;
+  const std::string index_path = dir_ + "/index.hix";
+  if (!file_exists(index_path)) return entries;
+  const std::vector<std::uint8_t> payload = read_checksummed_file(
+      index_path, kIndexMagic, kIndexVersion, "results-store index");
+  ByteReader r(payload, "results-store index payload");
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t hash = r.u64();
+    const auto spec_bytes = r.blob();
+    entries.insert_or_assign(hash,
+                             Entry{{spec_bytes.begin(), spec_bytes.end()}});
+  }
+  r.expect_done();
+  return entries;
+}
+
 void ResultsStore::recover() {
+  // The whole sequence — index load, WAL replay, intent resolution,
+  // compaction — is one critical section: concurrent opens serialize, and
+  // a publisher mid-stage cannot interleave with the resolution of its
+  // own intent (its lease blocks us; see below).
+  const ScopedFlock section(lock_path());
+  entries_ = read_index_from_disk();
+
+  FramedLog wal(wal_path(), kWalMagic, kWalVersion, kWalRecordMagic,
+                "results-store WAL", FramedLog::Access::kWait);
+  counters_.salvaged_wal_bytes = wal.dropped_bytes();
+
   // An intent with no commit/rollback after it is an interrupted publish.
   // (Hashes repeat across re-publish-after-rollback cycles, so resolve by
   // the *latest* record per hash.)
-  std::map<std::uint64_t, std::uint8_t> last_kind;
-  for (const std::vector<std::uint8_t>& rec : wal_->records()) {
+  struct LastRecord {
+    std::uint8_t kind = 0;
+    std::uint64_t token = 0;
+  };
+  std::map<std::uint64_t, LastRecord> last;
+  for (const std::vector<std::uint8_t>& rec : wal.records()) {
     ByteReader r(rec, "results-store WAL record");
     const std::uint8_t kind = r.u8();
     const std::uint64_t hash = r.u64();
+    const std::uint64_t token = r.u64();
     r.expect_done();
     if (kind != kWalIntent && kind != kWalCommit && kind != kWalRollback) {
       std::ostringstream os;
@@ -90,12 +114,27 @@ void ResultsStore::recover() {
          << static_cast<unsigned>(kind) << " — the WAL is corrupt";
       throw IoError(os.str());
     }
-    last_kind[hash] = kind;
+    last[hash] = LastRecord{kind, token};
   }
 
-  bool index_dirty = false;
-  for (const auto& [hash, kind] : last_kind) {
-    if (kind != kWalIntent) continue;
+  std::vector<std::vector<std::uint8_t>> keep;
+  for (const auto& [hash, rec] : last) {
+    if (rec.kind != kWalIntent) continue;
+
+    // Resolving an intent while its publisher is still alive would race
+    // its remaining stages (we might roll back a segment it is about to
+    // index).  Winning the job's lease settles it: either nobody holds
+    // the lease (the publisher is dead, or done and late releasing) and
+    // winning fences out any zombie via the token bump, or the holder is
+    // alive — leave the intent in the WAL for it (or a later recovery).
+    std::optional<LeaseLock> guard;
+    if (options_.try_lease) {
+      guard = options_.try_lease(hash);
+      if (!guard.has_value()) {
+        keep.push_back(wal_record(kWalIntent, hash, rec.token));
+        continue;
+      }
+    }
 
     // The segment is rename-atomic: if it exists and validates, the
     // publish was fully durable — roll forward.  Anything else (absent,
@@ -111,47 +150,61 @@ void ResultsStore::recover() {
       if (it == entries_.end()) {
         entries_.insert_or_assign(hash,
                                   Entry{result.spec.canonical_bytes()});
-        index_dirty = true;
+        write_index(entries_);
       }
     } catch (const IoError&) {
       segment_ok = false;
     }
 
     if (segment_ok) {
-      if (index_dirty) {
-        rewrite_index();
-        index_dirty = false;
-      }
-      wal_->append(wal_record(kWalCommit, hash));
+      wal.append(wal_record(kWalCommit, hash, rec.token));
       ++counters_.recovered_commits;
     } else {
       if (it != entries_.end()) {
-        entries_.erase(it);
-        rewrite_index();
+        entries_.erase(hash);
+        write_index(entries_);
       }
       std::remove(segment_path(hash).c_str());
-      std::remove((segment_path(hash) + ".tmp").c_str());
-      wal_->append(wal_record(kWalRollback, hash));
+      wal.append(wal_record(kWalRollback, hash, rec.token));
       ++counters_.rolled_back_intents;
     }
+    if (guard.has_value()) guard->release();
   }
 
-  // Every intent is now resolved; compact the WAL so it cannot grow
-  // without bound across restarts.  (Crash-safe: compaction is itself
-  // write-then-rename, and an old WAL full of resolved intents replays to
-  // the same state.)
-  wal_->compact({});
+  // Compact the WAL down to the intents we deliberately left unresolved
+  // (live publishers), so it cannot grow without bound across restarts.
+  // (Crash-safe: compaction is itself write-then-rename, and an old WAL
+  // full of resolved intents replays to the same state.)
+  wal.compact(keep);
+
+  // Dead publishers' in-flight temp files (unique-named, pid-tagged) are
+  // litter now; live publishers' temps are left strictly alone.
+  counters_.orphan_temps_removed = remove_orphan_temp_files(dir_);
 }
 
-void ResultsStore::rewrite_index() {
+void ResultsStore::write_index(
+    const std::map<std::uint64_t, Entry>& entries) const {
   ByteWriter payload;
-  payload.u64(entries_.size());
-  for (const auto& [hash, entry] : entries_) {
+  payload.u64(entries.size());
+  for (const auto& [hash, entry] : entries) {
     payload.u64(hash);
     payload.blob(entry.spec_bytes);
   }
   write_checksummed_file(dir_ + "/index.hix", kIndexMagic, kIndexVersion,
                          payload.buffer());
+}
+
+void ResultsStore::refresh() {
+  check_not_poisoned();
+  entries_ = read_index_from_disk();
+}
+
+void ResultsStore::require_writable(const char* action) const {
+  if (options_.read_only) {
+    throw PreconditionError(std::string("cannot ") + action +
+                            ": the results store at " + dir_ +
+                            " was opened read-only");
+  }
 }
 
 void ResultsStore::check_not_poisoned() const {
@@ -272,15 +325,48 @@ std::optional<StoredResult> ResultsStore::load_hash(std::uint64_t hash) {
   return result;
 }
 
+namespace {
+
+/// The commit-time fencing check: the lease file must still carry the
+/// writer's token.  Runs before *every* durable stage — a zombie drainer
+/// is stopped at the first stage it reaches after losing its lease.
+void check_fencing(const Fencing* fencing, const std::string& dir) {
+  if (fencing == nullptr || fencing->leases == nullptr) return;
+  if (!fencing->leases->validate(fencing->resource, fencing->token)) {
+    std::ostringstream os;
+    os << "stale lease: the lock for " << fencing->resource << " in " << dir
+       << " no longer carries fencing token " << fencing->token
+       << " — a successor took the job over; this writer must stop "
+          "(the successor's publish supersedes this one)";
+    throw StaleLeaseError(os.str());
+  }
+}
+
+}  // namespace
+
 void ResultsStore::publish(const JobSpec& spec,
                            const std::vector<ReplicateResult>& replicates) {
+  publish(spec, replicates, nullptr);
+}
+
+void ResultsStore::publish(const JobSpec& spec,
+                           const std::vector<ReplicateResult>& replicates,
+                           const Fencing* fencing) {
   check_not_poisoned();
+  require_writable("publish");
   HINET_REQUIRE(replicates.size() == spec.repetitions,
                 "publish needs exactly spec.repetitions replicate results "
                 "in index order — partial batches are journaled for resume, "
                 "never published");
   const std::uint64_t hash = spec.content_hash();
   const std::vector<std::uint8_t> spec_bytes = spec.canonical_bytes();
+  // Fencing first: a zombie whose successor already published this very
+  // job must hear "stale lease" (transient, expected, handled), not trip
+  // the already-published precondition below.
+  check_fencing(fencing, dir_);
+  // Check against *fresh* disk state: another drainer may have published
+  // since this handle last read the index.
+  entries_ = read_index_from_disk();
   const auto it = entries_.find(hash);
   if (it != entries_.end()) {
     if (it->second.spec_bytes == spec_bytes) {
@@ -295,13 +381,27 @@ void ResultsStore::publish(const JobSpec& spec,
 
   poisoned_ = true;  // cleared only when every stage lands
 
+  // Every commit hook fires *outside* the store's critical section so a
+  // fault-injection hook (or the in-process torture harness re-entering
+  // another drainer) can never deadlock against the flock.
+
   // Stage 1: durable intent.  From here recovery owns this hash until a
-  // commit or rollback resolves it.
-  wal_->append(wal_record(kWalIntent, hash));
+  // commit or rollback resolves it.  The WAL is opened transiently under
+  // the store lock: lock, append, close — no process monopolizes it.
+  check_fencing(fencing, dir_);
+  {
+    const ScopedFlock section(lock_path());
+    FramedLog wal(wal_path(), kWalMagic, kWalVersion, kWalRecordMagic,
+                  "results-store WAL", FramedLog::Access::kWait);
+    wal.append(wal_record(kWalIntent, hash,
+                          fencing != nullptr ? fencing->token : 0));
+  }
   if (commit_hook_) commit_hook_(CommitStage::kIntentLogged);
 
   // Stage 2: segment (atomic write + directory fsync via
-  // write_checksummed_file).
+  // write_checksummed_file; the temp name is per-process-unique, so no
+  // lock is needed — the final rename targets a content-addressed name).
+  check_fencing(fencing, dir_);
   ByteWriter payload;
   payload.blob(spec_bytes);
   std::vector<std::uint64_t> seeds;
@@ -321,14 +421,36 @@ void ResultsStore::publish(const JobSpec& spec,
                          payload.buffer());
   if (commit_hook_) commit_hook_(CommitStage::kSegmentWritten);
 
-  // Stage 3: index (atomic rewrite).
-  entries_.insert_or_assign(hash, Entry{spec_bytes});
-  rewrite_index();
+  // Stage 3: index.  Merged, not blind-rewritten: re-read the on-disk
+  // index under the lock, add this entry, rename the merged file into
+  // place — a concurrent publisher of a different job cannot be lost.
+  check_fencing(fencing, dir_);
+  {
+    const ScopedFlock section(lock_path());
+    std::map<std::uint64_t, Entry> disk = read_index_from_disk();
+    const auto existing = disk.find(hash);
+    if (existing != disk.end() &&
+        existing->second.spec_bytes != spec_bytes) {
+      throw IoError("content-hash collision: a different job spec landed "
+                    "under hash " + hash_hex(hash) +
+                    " while this publish was in flight");
+    }
+    disk.insert_or_assign(hash, Entry{spec_bytes});
+    write_index(disk);
+    entries_ = std::move(disk);
+  }
   if (commit_hook_) commit_hook_(CommitStage::kIndexPublished);
 
   // Stage 4: commit marker — recovery no longer needs to look at this
   // publish.
-  wal_->append(wal_record(kWalCommit, hash));
+  check_fencing(fencing, dir_);
+  {
+    const ScopedFlock section(lock_path());
+    FramedLog wal(wal_path(), kWalMagic, kWalVersion, kWalRecordMagic,
+                  "results-store WAL", FramedLog::Access::kWait);
+    wal.append(wal_record(kWalCommit, hash,
+                          fencing != nullptr ? fencing->token : 0));
+  }
   if (commit_hook_) commit_hook_(CommitStage::kCommitLogged);
 
   poisoned_ = false;

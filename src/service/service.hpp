@@ -26,6 +26,22 @@
 // Everything is observable: the service report and the store counters
 // (hits/misses/recoveries) make the cache behaviour auditable — the CI
 // acceptance check literally greps them.
+//
+// ## Concurrent drains
+//
+// N service instances (N `hinetd run` processes) may share one directory.
+// run_pending() claims one job at a time: open the queue transiently
+// (wait-mode FramedLog — short lock-mutate-close sections), pick the
+// first unclaimed pending job, win its lease (lease_lock.hpp), record a
+// durable claim, close the queue, and only then execute — the queue and
+// store are never held across a simulation.  The supervisor's progress
+// callback renews the lease after every journaled replicate (the
+// heartbeat); publish() carries the lease's fencing token so a drainer
+// that lost its lease mid-run is refused at the first commit stage
+// instead of clobbering its successor.  Every claim, publish and
+// stale-lease detection is appended to <dir>/ledger.hle — the append-only
+// execution ledger `hinetd status` reports and the CI multi-drain smoke
+// asserts over ("no job published twice").
 #pragma once
 
 #include <atomic>
@@ -36,8 +52,11 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "analysis/supervisor.hpp"
 #include "service/job_queue.hpp"
+#include "service/lease_lock.hpp"
 #include "service/results_store.hpp"
 
 namespace hinet {
@@ -60,6 +79,30 @@ struct ServiceOptions {
   /// Invoked after a job's results were fully published and acknowledged
   /// (the CI crash lever hard-exits here to simulate SIGKILL).
   std::function<void(const JobSpec&)> on_job_published;
+
+  /// Lease validity per acquire/renew.  Must comfortably exceed the wall
+  /// time of one replicate: the heartbeat renews after every journaled
+  /// replicate, so a lease shorter than a replicate expires mid-work and
+  /// invites a takeover of a live job (safe — fencing refuses the loser —
+  /// but wasteful).
+  std::uint64_t lease_ms = 30000;
+
+  /// Extra slack past expiry before a contender may take a lease over
+  /// (absorbs clock skew between drainer hosts).
+  std::uint64_t takeover_grace_ms = 1000;
+
+  /// This drainer's identity in lease files, claims and the ledger.
+  /// Empty: "pid-<pid>".
+  std::string drain_id;
+
+  /// Millisecond clock for lease expiry (tests inject a fake; empty uses
+  /// the wall clock).
+  LeaseClock now_ms;
+
+  /// Test seam: invoked after a job's replicates completed, immediately
+  /// before the store publish begins (the torture harness parks a zombie
+  /// drainer here while a successor steals the job).
+  std::function<void(const JobSpec&)> on_job_will_publish;
 };
 
 /// What run_pending did, per drained queue entry and in total.
@@ -69,6 +112,13 @@ struct ServiceReport {
   std::size_t failed_jobs = 0;     ///< left the queue permanently failed
   std::size_t deferred_jobs = 0;   ///< transient failure — still pending
   std::size_t resumed_replicates = 0;  ///< journal-recovered, not re-run
+  /// Lease lost mid-job (heartbeat renew failed, or a commit stage was
+  /// fenced): the successor owns the job; nothing was corrupted and
+  /// nothing of the successor's was overwritten.
+  std::size_t stale_leases = 0;
+  /// Pending jobs left alone because a sibling drainer holds their lease
+  /// or live claim — they are *someone else's* work, not a failure.
+  std::size_t skipped_claimed = 0;
   bool cancelled = false;          ///< stopped on the cancel flag
   std::vector<std::string> failure_messages;
 
@@ -79,36 +129,89 @@ class ExperimentService {
  public:
   enum class SubmitOutcome { kCacheHit, kEnqueued, kAlreadyPending };
 
+  // Execution-ledger file format (<dir>/ledger.hle): an append-only
+  // FramedLog of {u8 kind, u64 hash, u64 token, owner blob} records —
+  // the audit trail of who executed what (never compacted).
+  static constexpr std::uint32_t kLedgerMagic = 0x4c'45'53'48u;  // "HSEL"
+  static constexpr std::uint16_t kLedgerVersion = 1;
+  static constexpr std::uint32_t kLedgerRecordMagic = 0x52'45'53'48u;  // HSER
+  static constexpr std::uint8_t kLedgerClaim = 1;
+  static constexpr std::uint8_t kLedgerPublish = 2;
+  static constexpr std::uint8_t kLedgerStale = 3;
+
   /// Opens (creating) the service state under `dir`: <dir>/queue.hjq,
-  /// <dir>/index.hix + segments + WAL, <dir>/job-<hash>.journal while a
-  /// job is in flight.  Recovery (store intents, queue backlog, journals)
-  /// happens here.
+  /// <dir>/index.hix + segments + WAL + store.lock, <dir>/ledger.hle,
+  /// <dir>/job-<hash>.{journal,lease,fence} while a job is in flight.
+  /// Recovery (store intents — gated on winning each job's lease — queue
+  /// backlog, journals) happens here.
   ExperimentService(std::string dir, ServiceOptions options);
 
   ResultsStore& store() { return *store_; }
   const ResultsStore& store() const { return *store_; }
-  JobQueue& queue() { return *queue_; }
+  LeaseManager& leases() { return *leases_; }
+
+  /// Current queue backlog, observed through a transient read-only open
+  /// (safe while other drainers hold the queue).
+  std::size_t pending() const;
+  std::vector<JobSpec> pending_jobs() const;
 
   /// Content-addressed admission: a stored job is a pure cache hit (no
   /// queue traffic), a pending one is deduped, a new one is durably
   /// enqueued.  Throws QueueFullError at capacity.
   SubmitOutcome submit(const JobSpec& spec);
 
-  /// Drains the pending queue (snapshot taken at entry).  Never throws
-  /// for per-job failures — they land in the report; throws only for
-  /// store/queue-level corruption (IoError).
+  /// Drains the queue one claimed job at a time until no job can be
+  /// claimed (empty, or every remainder is a sibling drainer's).  Never
+  /// throws for per-job failures or lost leases — they land in the
+  /// report; throws only for store/queue-level corruption (IoError).
   ServiceReport run_pending();
 
   /// Path of the in-flight journal for a job (exists only between first
   /// replicate and publish).
   std::string journal_path(const JobSpec& spec) const;
 
+  std::string queue_path() const { return dir_ + "/queue.hjq"; }
+  std::string ledger_path() const { return dir_ + "/ledger.hle"; }
+
+  /// The lease/ledger resource name for a job hash: "job-<16 hex>".
+  static std::string job_resource(std::uint64_t hash);
+
  private:
+  struct ClaimedJob {
+    JobSpec job;
+    LeaseLock lease;
+  };
+
+  std::optional<ClaimedJob> claim_next(ServiceReport& report);
+  void execute_claimed(ClaimedJob claimed, ServiceReport& report);
+  void append_ledger(std::uint8_t kind, std::uint64_t hash,
+                     std::uint64_t token);
+  void reopen_store();
+  StoreOptions store_options();
+
   std::string dir_;
   ServiceOptions options_;
+  std::unique_ptr<LeaseManager> leases_;  ///< must outlive store_ (hook)
   std::unique_ptr<ResultsStore> store_;
-  std::unique_ptr<JobQueue> queue_;
 };
+
+/// Per-job execution counts replayed from <dir>/ledger.hle — the "no job
+/// executed twice" evidence: under fencing, `publishes` is at most 1 per
+/// hash no matter how many drainers were killed and restarted.
+struct ExecutionLedger {
+  struct PerJob {
+    std::size_t claims = 0;     ///< lease wins (takeovers included)
+    std::size_t publishes = 0;  ///< durable publishes acknowledged
+    std::size_t stales = 0;     ///< drainers that detected a lost lease
+  };
+  std::map<std::uint64_t, PerJob> jobs;
+  std::size_t total_claims = 0;
+  std::size_t total_publishes = 0;
+  std::size_t total_stales = 0;
+};
+
+/// Replays the execution ledger read-only (missing file: empty ledger).
+ExecutionLedger read_execution_ledger(const std::string& dir);
 
 // ── Query path: served from the store, never simulating ────────────────
 

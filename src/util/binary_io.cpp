@@ -1,12 +1,16 @@
 #include "util/binary_io.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -216,6 +220,58 @@ void fsync_parent_directory(const std::string& path) {
   }
 }
 
+std::string unique_temp_path(const std::string& path) {
+  // pid + counter is unique among *live* processes; a recycled pid can at
+  // worst collide with a temp whose owner is dead, and overwriting a dead
+  // process's orphan is harmless.  Deliberately no clock and no RNG: temp
+  // naming must not perturb deterministic replay (detlint bans both).
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream os;
+  os << path << ".tmp." << ::getpid() << "."
+     << counter.fetch_add(1, std::memory_order_relaxed);
+  return os.str();
+}
+
+std::size_t remove_orphan_temp_files(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw IoError("cannot open directory " + dir +
+                  " to sweep orphan temp files: " + std::strerror(errno));
+  }
+  std::size_t removed = 0;
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    const std::size_t tag = name.rfind(".tmp.");
+    if (tag == std::string::npos) continue;
+    // Parse "<pid>.<n>" after the tag; anything else is not ours.
+    const std::string rest = name.substr(tag + 5);
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
+      continue;
+    }
+    const std::string pid_part = rest.substr(0, dot);
+    const std::string seq_part = rest.substr(dot + 1);
+    auto all_digits = [](const std::string& s) {
+      for (const char c : s) {
+        if (c < '0' || c > '9') return false;
+      }
+      return !s.empty();
+    };
+    if (!all_digits(pid_part) || !all_digits(seq_part)) continue;
+    const long pid = std::strtol(pid_part.c_str(), nullptr, 10);
+    // kill(pid, 0) probes existence without signalling.  EPERM means the
+    // pid exists but belongs to someone else — treat as live either way.
+    if (pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                    errno != ESRCH)) {
+      continue;
+    }
+    if (::unlinkat(::dirfd(d), e->d_name, 0) == 0) ++removed;
+  }
+  ::closedir(d);
+  if (removed > 0) fsync_parent_directory(dir + "/.");
+  return removed;
+}
+
 void write_checksummed_file(const std::string& path, std::uint32_t magic,
                             std::uint16_t version,
                             std::span<const std::uint8_t> payload) {
@@ -225,8 +281,10 @@ void write_checksummed_file(const std::string& path, std::uint32_t magic,
   header.u64(payload.size());
   header.u32(crc32(payload));
 
-  // Write-then-rename: `path` only ever names a complete, checksummed file.
-  const std::string tmp = path + ".tmp";
+  // Write-then-rename: `path` only ever names a complete, checksummed
+  // file.  The temp name is per-process-unique so concurrent publishers
+  // into one directory cannot truncate each other's in-flight temps.
+  const std::string tmp = unique_temp_path(path);
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) throw IoError("cannot open " + tmp + " for writing");
   const bool ok =

@@ -119,6 +119,22 @@ class ByteReader {
 /// Throws IoError when the directory cannot be opened or synced.
 void fsync_parent_directory(const std::string& path);
 
+/// A temporary-sibling name for `path` that is unique *across processes*:
+/// `<path>.tmp.<pid>.<n>` with a per-process monotonically increasing
+/// counter.  Two drainers publishing into one directory can therefore
+/// never clobber each other's in-flight temp files — a fixed ".tmp"
+/// suffix would let process B truncate the bytes process A is about to
+/// rename into place.  (The pid is also what lets recovery tell a dead
+/// publisher's orphan temp from a live publisher's in-flight one.)
+std::string unique_temp_path(const std::string& path);
+
+/// Deletes leftover `<name>.tmp.<pid>.<n>` siblings in `dir` whose owning
+/// process is gone (pid no longer exists).  Temps belonging to live
+/// processes are in-flight writes and are left alone.  Returns the number
+/// of orphans removed.  Errors reading the directory are an IoError;
+/// unlink races (someone else cleaned first) are ignored.
+std::size_t remove_orphan_temp_files(const std::string& dir);
+
 /// Writes `payload` to `path` inside the shared container format:
 ///
 ///   u32 magic · u16 version · u64 payload length · u32 crc32(payload) ·

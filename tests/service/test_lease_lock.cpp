@@ -1,0 +1,219 @@
+// Lease locks: O_EXCL exclusivity, renewal, expiry takeover, fencing
+// token monotonicity, and the age-gating of unreadable lock files — all
+// on an injected fake clock, so expiry is deterministic.
+#include "service/lease_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hinet {
+namespace {
+
+std::string fresh_dir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "hinet_lease_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// A manager on a shared fake clock.  `clock` outlives the manager.
+LeaseManager make_manager(const std::string& dir,
+                          const std::shared_ptr<std::uint64_t>& clock,
+                          const std::string& owner,
+                          std::uint64_t lease_ms = 1000,
+                          std::uint64_t grace_ms = 100) {
+  LeaseManager::Options opt;
+  opt.lease_ms = lease_ms;
+  opt.takeover_grace_ms = grace_ms;
+  opt.owner = owner;
+  opt.now_ms = [clock] { return *clock; };
+  return LeaseManager(dir, opt);
+}
+
+TEST(LeaseLock, AcquireRenewReleaseLifecycle) {
+  const std::string dir = fresh_dir("lifecycle");
+  const auto clock = std::make_shared<std::uint64_t>(10'000);
+  LeaseManager mgr = make_manager(dir, clock, "drain-a");
+
+  std::optional<LeaseLock> lease = mgr.try_acquire("job-1");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_TRUE(lease->held());
+  EXPECT_EQ(lease->name(), "job-1");
+  EXPECT_GE(lease->token(), 1u);
+
+  const std::optional<LeaseInfo> peeked = mgr.peek("job-1");
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->owner, "drain-a");
+  EXPECT_EQ(peeked->token, lease->token());
+  EXPECT_EQ(peeked->expiry_ms, 11'000u);
+
+  *clock = 10'500;
+  EXPECT_TRUE(lease->renew());
+  EXPECT_EQ(mgr.peek("job-1")->expiry_ms, 11'500u);
+
+  lease->release();
+  EXPECT_FALSE(lease->held());
+  EXPECT_FALSE(mgr.peek("job-1").has_value());
+  EXPECT_FALSE(std::filesystem::exists(mgr.lease_path("job-1")));
+}
+
+TEST(LeaseLock, LiveLeaseRefusesSecondAcquire) {
+  const std::string dir = fresh_dir("busy");
+  const auto clock = std::make_shared<std::uint64_t>(0);
+  LeaseManager a = make_manager(dir, clock, "drain-a");
+  LeaseManager b = make_manager(dir, clock, "drain-b");
+
+  std::optional<LeaseLock> held = a.try_acquire("job-1");
+  ASSERT_TRUE(held.has_value());
+  EXPECT_FALSE(b.try_acquire("job-1").has_value());
+  // A different job is independent.
+  EXPECT_TRUE(b.try_acquire("job-2").has_value());
+}
+
+TEST(LeaseLock, ExpiredLeaseIsTakenOverWithStrictlyLargerToken) {
+  const std::string dir = fresh_dir("takeover");
+  const auto clock = std::make_shared<std::uint64_t>(0);
+  LeaseManager a = make_manager(dir, clock, "drain-a");
+  LeaseManager b = make_manager(dir, clock, "drain-b");
+
+  std::optional<LeaseLock> stale = a.try_acquire("job-1");
+  ASSERT_TRUE(stale.has_value());
+  const std::uint64_t old_token = stale->token();
+
+  // Within expiry and within grace: the lease is untouchable.
+  *clock = 999;
+  EXPECT_FALSE(b.try_acquire("job-1").has_value());
+  *clock = 1050;  // expired at 1000, grace runs to 1100
+  EXPECT_FALSE(b.try_acquire("job-1").has_value());
+
+  *clock = 1100;
+  std::optional<LeaseLock> next = b.try_acquire("job-1");
+  ASSERT_TRUE(next.has_value());
+  EXPECT_GT(next->token(), old_token);
+  EXPECT_EQ(b.takeovers(), 1u);
+
+  // The fencing check flips: only the successor's token validates.
+  EXPECT_FALSE(a.validate("job-1", old_token));
+  EXPECT_TRUE(a.validate("job-1", next->token()));
+
+  // The zombie discovers the takeover at its next heartbeat — and the
+  // loss is permanent.
+  EXPECT_FALSE(stale->renew());
+  EXPECT_FALSE(stale->held());
+  EXPECT_FALSE(stale->renew());
+
+  // Releasing the zombie's handle must not unlink the successor's lock.
+  stale->release();
+  EXPECT_TRUE(std::filesystem::exists(b.lease_path("job-1")));
+}
+
+TEST(LeaseLock, TokensAreMonotoneAcrossTakeoversAndReleases) {
+  const std::string dir = fresh_dir("monotone");
+  const auto clock = std::make_shared<std::uint64_t>(0);
+  LeaseManager mgr = make_manager(dir, clock, "drain-a");
+
+  std::uint64_t last = 0;
+  for (int round = 0; round < 3; ++round) {
+    std::optional<LeaseLock> lease = mgr.try_acquire("job-1");
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_GT(lease->token(), last) << "fence must never reissue a token";
+    last = lease->token();
+    lease->release();
+  }
+
+  // Takeover path: hold without releasing, let it expire, reacquire.
+  std::optional<LeaseLock> zombie = mgr.try_acquire("job-1");
+  ASSERT_TRUE(zombie.has_value());
+  EXPECT_GT(zombie->token(), last);
+  last = zombie->token();
+  *clock += 2000;
+  std::optional<LeaseLock> successor = mgr.try_acquire("job-1");
+  ASSERT_TRUE(successor.has_value());
+  EXPECT_GT(successor->token(), last);
+}
+
+TEST(LeaseLock, ValidateIgnoresExpiryUntilTakeover) {
+  // An expired-but-untaken lease still belongs to its holder: the fence
+  // only moves when a successor actually takes over.  (This is why a slow
+  // drainer with no contention still gets to publish.)
+  const std::string dir = fresh_dir("expiry");
+  const auto clock = std::make_shared<std::uint64_t>(0);
+  LeaseManager mgr = make_manager(dir, clock, "drain-a");
+  std::optional<LeaseLock> lease = mgr.try_acquire("job-1");
+  ASSERT_TRUE(lease.has_value());
+  *clock = 50'000;  // far past expiry, nobody contended
+  EXPECT_TRUE(mgr.validate("job-1", lease->token()));
+  EXPECT_TRUE(lease->renew());  // and the holder can still renew
+}
+
+TEST(LeaseLock, UnreadableLockFileIsAgeGated) {
+  const std::string dir = fresh_dir("unreadable");
+  const auto clock = std::make_shared<std::uint64_t>(1);
+  LeaseManager mgr = make_manager(dir, clock, "drain-a");
+
+  {
+    std::ofstream garbage(mgr.lease_path("job-1"), std::ios::binary);
+    garbage << "torn";
+  }
+  // Fake-now far below the file's (real) mtime: looks like a winner
+  // mid-creation — busy, not corrupt.
+  EXPECT_FALSE(mgr.try_acquire("job-1").has_value());
+
+  // Fake-now far past mtime + lease + grace: the creator is dead; take
+  // the garbage over and acquire cleanly.
+  *clock = std::uint64_t{1} << 62;
+  std::optional<LeaseLock> lease = mgr.try_acquire("job-1");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(mgr.takeovers(), 1u);
+  EXPECT_EQ(mgr.peek("job-1")->owner, "drain-a");
+}
+
+TEST(LeaseLock, ListReportsEveryLiveLease) {
+  const std::string dir = fresh_dir("list");
+  const auto clock = std::make_shared<std::uint64_t>(0);
+  LeaseManager mgr = make_manager(dir, clock, "drain-a");
+  std::optional<LeaseLock> l1 = mgr.try_acquire("job-a");
+  std::optional<LeaseLock> l2 = mgr.try_acquire("job-b");
+  ASSERT_TRUE(l1.has_value());
+  ASSERT_TRUE(l2.has_value());
+
+  const auto live = mgr.list();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].first, "job-a");
+  EXPECT_EQ(live[1].first, "job-b");
+  EXPECT_EQ(live[0].second.owner, "drain-a");
+
+  l1->release();
+  EXPECT_EQ(mgr.list().size(), 1u);
+}
+
+TEST(LeaseLock, MovedFromHandleDoesNotDoubleRelease) {
+  const std::string dir = fresh_dir("move");
+  const auto clock = std::make_shared<std::uint64_t>(0);
+  LeaseManager mgr = make_manager(dir, clock, "drain-a");
+  std::optional<LeaseLock> a = mgr.try_acquire("job-1");
+  ASSERT_TRUE(a.has_value());
+  const std::uint64_t token = a->token();
+
+  LeaseLock b = std::move(*a);
+  EXPECT_TRUE(b.held());
+  EXPECT_EQ(b.token(), token);
+  b.release();
+  EXPECT_FALSE(std::filesystem::exists(mgr.lease_path("job-1")));
+
+  // Destroying the moved-from optional must not throw or unlink anything
+  // a new holder owns.
+  std::optional<LeaseLock> c = mgr.try_acquire("job-1");
+  ASSERT_TRUE(c.has_value());
+  a.reset();
+  EXPECT_TRUE(std::filesystem::exists(mgr.lease_path("job-1")));
+}
+
+}  // namespace
+}  // namespace hinet

@@ -45,20 +45,20 @@ TEST(Service, SubmitRunQueryLifecycle) {
   EXPECT_EQ(service.submit(spec), ExperimentService::SubmitOutcome::kEnqueued);
   EXPECT_EQ(service.submit(spec),
             ExperimentService::SubmitOutcome::kAlreadyPending);
-  EXPECT_EQ(service.queue().pending(), 1u);
+  EXPECT_EQ(service.pending(), 1u);
 
   const ServiceReport report = service.run_pending();
   EXPECT_EQ(report.executed_jobs, 1u);
   EXPECT_EQ(report.cache_hits, 0u);
   EXPECT_EQ(report.failed_jobs, 0u);
-  EXPECT_EQ(service.queue().pending(), 0u);
+  EXPECT_EQ(service.pending(), 0u);
   EXPECT_FALSE(std::filesystem::exists(service.journal_path(spec)))
       << "published job must not leave its journal behind";
 
   // Second submission of a stored (spec, seed) is a pure cache hit: no
   // queue traffic, no simulation — counter-verified through the store.
   EXPECT_EQ(service.submit(spec), ExperimentService::SubmitOutcome::kCacheHit);
-  EXPECT_EQ(service.queue().pending(), 0u);
+  EXPECT_EQ(service.pending(), 0u);
   const std::size_t hits_before = service.store().counters().hits;
   const std::optional<StoredResult> got = service.store().load(spec);
   ASSERT_TRUE(got.has_value());
@@ -80,11 +80,16 @@ TEST(Service, QueuedDuplicateOfStoredJobBecomesCacheHit) {
   // way a pre-crash submission would have).
   {
     ExperimentService service(dir, {});
-    service.queue().submit(tiny_spec());
+    {
+      // Scoped: the queue's writer lock must release before run_pending
+      // opens its own wait-mode handle.
+      JobQueue queue(service.queue_path(), 256, FramedLog::Access::kWait);
+      queue.submit(tiny_spec());
+    }
     const ServiceReport report = service.run_pending();
     EXPECT_EQ(report.executed_jobs, 0u);
     EXPECT_EQ(report.cache_hits, 1u);
-    EXPECT_EQ(service.queue().pending(), 0u);
+    EXPECT_EQ(service.pending(), 0u);
   }
 }
 
@@ -111,7 +116,7 @@ TEST(Service, PendingJobsSurviveReopen) {
     service.submit(spec);
   }
   ExperimentService service(dir, {});
-  EXPECT_EQ(service.queue().pending(), 1u);
+  EXPECT_EQ(service.pending(), 1u);
   const ServiceReport report = service.run_pending();
   EXPECT_EQ(report.executed_jobs, 1u);
   EXPECT_TRUE(service.store().contains(spec));
@@ -162,7 +167,7 @@ TEST(Service, CancelBetweenJobsLeavesQueueResumable) {
     const ServiceReport report = service.run_pending();
     EXPECT_TRUE(report.cancelled);
     EXPECT_EQ(report.executed_jobs, 0u);
-    EXPECT_EQ(service.queue().pending(), 1u);
+    EXPECT_EQ(service.pending(), 1u);
   }
   ExperimentService resumed(dir, {});
   const ServiceReport report = resumed.run_pending();

@@ -14,3 +14,13 @@ void publish_no_fsync(const char* tmp, const char* final_path) {
 void append_record(int fd, const void* buf) {
   write_all(fd, buf, 8);  // detlint-allow(durability-ordering): fixture — caller syncs in batches
 }
+
+int acquire_scratch_lock(const char* path) {
+  // detlint-allow(durability-ordering): fixture — scratch lock on a tmpfs that never survives reboot
+  const int fd = open(path, O_CREAT | O_EXCL | O_WRONLY, 0644);
+  return fd;
+}
+
+void release_scratch_lock(const char* path) {
+  unlink(path);  // detlint-allow(durability-ordering): fixture — scratch lock on a tmpfs
+}

@@ -14,3 +14,12 @@ void publish_no_fsync(const char* tmp, const char* final_path) {
 void append_record(int fd, const void* buf) {
   write_all(fd, buf, 8);  // acked append with no fdatasync behind it
 }
+
+int acquire_lock_no_dirsync(const char* path) {
+  const int fd = open(path, O_CREAT | O_EXCL | O_WRONLY, 0644);
+  return fd;  // the acquisition never reaches the parent inode durably
+}
+
+void release_lock_no_dirsync(const char* path) {
+  unlink(path);  // a crash here resurrects the lock for every future acquirer
+}

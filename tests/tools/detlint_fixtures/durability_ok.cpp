@@ -18,3 +18,14 @@ void append_record(int fd, const void* buf) {
   write_all(fd, buf, 8);
   sync_now(fd);
 }
+
+int acquire_lock(const char* path) {
+  const int fd = open(path, O_CREAT | O_EXCL | O_WRONLY, 0644);
+  fsync_parent_directory(path);
+  return fd;
+}
+
+void release_lock(const char* path) {
+  unlink(path);
+  fsync_parent_directory(path);
+}

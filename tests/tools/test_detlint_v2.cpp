@@ -52,14 +52,17 @@ std::set<std::size_t> lines_of(const std::vector<Finding>& findings,
 
 TEST(DetlintV2, DurabilityFiresOnUnsyncedPublishAndAppend) {
   const auto findings = lint_fixture("durability_bad.cpp");
-  // Two findings on the rename (no file fsync, no parent-dir fsync) and one
-  // on the unsynced append write.
-  EXPECT_EQ(count_rule(findings, kRuleDurabilityOrdering), 3u);
+  // Two findings on the rename (no file fsync, no parent-dir fsync), one
+  // on the unsynced append write, one on the O_EXCL lock create with no
+  // parent-dir fsync, one on the lock release with no parent-dir fsync.
+  EXPECT_EQ(count_rule(findings, kRuleDurabilityOrdering), 5u);
   EXPECT_EQ(count_rule(findings, kRuleDurabilityOrdering), findings.size())
       << "only durability-ordering findings expected in this fixture";
   const auto lines = lines_of(findings, kRuleDurabilityOrdering);
   EXPECT_TRUE(lines.contains(11));  // rename(tmp, final_path)
   EXPECT_TRUE(lines.contains(15));  // write_all in append_record
+  EXPECT_TRUE(lines.contains(19));  // O_EXCL open in acquire_lock_no_dirsync
+  EXPECT_TRUE(lines.contains(24));  // unlink in release_lock_no_dirsync
 }
 
 TEST(DetlintV2, DurabilityQuietOnCompliantProtocol) {

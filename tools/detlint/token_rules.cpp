@@ -163,8 +163,21 @@ constexpr std::array<std::string_view, 8> kWriteCalls = {
 constexpr std::array<std::string_view, 5> kSyncCalls = {
     "fsync", "fdatasync", "sync_now", "sync_all", "sync_file_range"};
 
+/// Does the call at `e` pass the O_EXCL flag?  Scans the identifier
+/// tokens between the call's parentheses.
+bool call_uses_o_excl(const std::vector<Token>& toks, const CallEvent& e) {
+  const std::size_t close = match_forward(toks, e.tok + 1, "(", ")");
+  for (std::size_t i = e.tok + 2; close != npos && i < close; ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "O_EXCL") {
+      return true;
+    }
+  }
+  return false;
+}
+
 void check_durability(const SourceFile& file, const Definition& def,
                       const std::vector<CallEvent>& events,
+                      const std::vector<Token>& toks,
                       std::vector<Finding>& out) {
   auto is_write = [](const CallEvent& e) {
     return name_in(e.name, kWriteCalls);
@@ -207,11 +220,60 @@ void check_durability(const SourceFile& file, const Definition& def,
     }
   }
 
-  // FramedLog-style append paths must make appended bytes durable before the
-  // caller can treat the record as acknowledged.
+  // Lock-file creation: an O_EXCL open is a *lock acquisition through the
+  // directory inode* — exactly one creator wins, and the win only survives
+  // power loss if the directory entry is fsynced.  Every O_EXCL create
+  // must therefore be followed by fsync_parent_directory() somewhere in
+  // the same function.
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const CallEvent& e = events[k];
+    if (e.member || (e.name != "open" && e.name != "openat")) continue;
+    if (!call_uses_o_excl(toks, e)) continue;
+    bool parent_synced = false;
+    for (std::size_t j = k + 1; j < events.size(); ++j) {
+      if (events[j].name == "fsync_parent_directory") parent_synced = true;
+    }
+    if (!parent_synced) {
+      out.push_back(Finding{
+          file.path, e.line, std::string(kRuleDurabilityOrdering),
+          "O_EXCL lock-file creation in '" + def.name +
+              "' is not followed by fsync_parent_directory(): the lock's "
+              "existence lives in the parent inode, and a crash can undo "
+              "an acquisition another process already observed"});
+    }
+  }
+
   auto lower = def.name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+
+  // Lock release: a release path that unlinks a lock file must fsync the
+  // parent directory afterwards, or a crash can resurrect a lock the
+  // owner already gave up — and nothing will ever release it again.
+  if (lower.find("release") != std::string::npos) {
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      const CallEvent& e = events[k];
+      if (e.member || (e.name != "unlink" && e.name != "remove" &&
+                       e.name != "unlinkat")) {
+        continue;
+      }
+      bool parent_synced = false;
+      for (std::size_t j = k + 1; j < events.size(); ++j) {
+        if (events[j].name == "fsync_parent_directory") parent_synced = true;
+      }
+      if (!parent_synced) {
+        out.push_back(Finding{
+            file.path, e.line, std::string(kRuleDurabilityOrdering),
+            "lock release in '" + def.name +
+                "' unlinks without a following fsync_parent_directory(): "
+                "a crash can resurrect the released lock file and wedge "
+                "every future acquirer"});
+      }
+    }
+  }
+
+  // FramedLog-style append paths must make appended bytes durable before the
+  // caller can treat the record as acknowledged.
   if (lower.find("append") != std::string::npos) {
     std::size_t last_write = npos;
     for (std::size_t j = 0; j < events.size(); ++j) {
@@ -458,7 +520,7 @@ void run_token_rules(const SourceFile& file, const LayerManifest* layers,
   const std::vector<Definition> defs = find_definitions(file.tokens);
   for (const Definition& def : defs) {
     const auto events = call_events(file.tokens, def.body_begin, def.body_end);
-    check_durability(file, def, events, out);
+    check_durability(file, def, events, file.tokens, out);
     check_version_guard(file, events, out);
   }
   check_symmetry(file, defs, out);

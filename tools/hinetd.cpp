@@ -165,6 +165,16 @@ ServiceOptions service_options_from_args(CliArgs& args,
         "deadline-ms", 0, "per-replicate wall-clock budget (0 = none)"));
     opt.max_retries = static_cast<std::size_t>(args.get_int(
         "retries", 1, "retry budget per replicate for transient failures"));
+    opt.lease_ms = static_cast<std::uint64_t>(args.get_int(
+        "lease-ms", 30000,
+        "per-job lease validity; renewed after every journaled replicate, "
+        "so keep it well above one replicate's wall time"));
+    opt.takeover_grace_ms = static_cast<std::uint64_t>(args.get_int(
+        "takeover-grace-ms", 1000,
+        "extra slack past lease expiry before another drain takes over"));
+    opt.drain_id = args.get_string(
+        "drain-id", "", "this drain's identity in leases/claims/ledger "
+        "(default pid-<pid>)");
   }
   return opt;
 }
@@ -173,7 +183,8 @@ void print_counters(const ResultsStore::Counters& c) {
   std::cout << "store-counters: hits=" << c.hits << " misses=" << c.misses
             << " recovered-commits=" << c.recovered_commits
             << " rolled-back-intents=" << c.rolled_back_intents
-            << " salvaged-wal-bytes=" << c.salvaged_wal_bytes << "\n";
+            << " salvaged-wal-bytes=" << c.salvaged_wal_bytes
+            << " orphan-temps-removed=" << c.orphan_temps_removed << "\n";
 }
 
 std::string digest_hex(std::uint64_t digest) {
@@ -205,6 +216,13 @@ int run_service(ExperimentService& service, const ServiceReport& report) {
   }
   if (report.failed_jobs > 0) return kExitFailed;
   if (report.deferred_jobs > 0) return kExitTransient;
+  if (report.skipped_claimed > 0 || report.stale_leases > 0) {
+    // Sibling drains still own jobs (or took ours over) — nothing failed,
+    // but the backlog is not drained *by us*.  Retry loops key off this.
+    std::cout << "jobs remain with sibling drains — rerun `hinetd run` "
+                 "once their leases settle\n";
+    return kExitTransient;
+  }
   return kExitOk;
 }
 
@@ -375,7 +393,11 @@ int cmd_query(CliArgs& args) {
     return kExitUsage;
   }
 
-  ResultsStore store(store_dir);
+  // Read-only handle: queries never lock, recover, or otherwise perturb a
+  // store that live drains are publishing into.
+  StoreOptions ro;
+  ro.read_only = true;
+  ResultsStore store(store_dir, ro);
   std::optional<StoredResult> result =
       hash_arg.empty() ? store.load(spec)
                        : store.load_hash(parse_hash_hex(hash_arg));
@@ -441,17 +463,56 @@ int cmd_status(CliArgs& args) {
     return kExitUsage;
   }
 
-  ResultsStore store(store_dir);
-  JobQueue queue(store_dir + "/queue.hjq", max_pending);
+  // Everything here is observe-only: read-only store (no locks, no
+  // recovery), read-only queue (no flock, no compaction), lease files
+  // peeked without acquiring — `status` is safe to run while N drains
+  // are live, and that is exactly how the CI multi-drain smoke uses it.
+  StoreOptions ro;
+  ro.read_only = true;
+  ResultsStore store(store_dir, ro);
+  JobQueue queue(store_dir + "/queue.hjq", max_pending,
+                 FramedLog::Access::kReadOnly);
+  LeaseManager leases(store_dir, LeaseManager::Options{});
+  const std::uint64_t now = leases.now_ms();
+
   std::cout << "stored jobs: " << store.size() << "\n";
   for (const JobSpec& s : store.entries()) {
     std::cout << "  " << s.hash_hex() << "  [" << s.describe() << "]\n";
   }
   std::cout << "pending jobs: " << queue.pending() << "/"
-            << queue.max_pending() << "\n";
+            << queue.max_pending() << " (claimed: " << queue.claimed(now)
+            << ")\n";
   for (const JobSpec& s : queue.pending_jobs()) {
-    std::cout << "  " << s.hash_hex() << "  [" << s.describe() << "]\n";
+    std::cout << "  " << s.hash_hex() << "  [" << s.describe() << "]";
+    const std::optional<JobQueue::Claim> claim =
+        queue.claim_of(s.content_hash(), now);
+    if (claim.has_value()) {
+      std::cout << "  claimed-by=" << claim->owner
+                << " token=" << claim->token;
+    }
+    std::cout << "\n";
   }
+
+  const auto live = leases.list();
+  std::cout << "leases: " << live.size() << "\n";
+  for (const auto& [name, info] : live) {
+    const std::uint64_t ttl =
+        info.expiry_ms > now ? info.expiry_ms - now : 0;
+    std::cout << "  " << name << "  owner=" << info.owner
+              << " token=" << info.token << " ttl-ms=" << ttl
+              << (ttl == 0 ? " (expired)" : "") << "\n";
+  }
+
+  const ExecutionLedger ledger = read_execution_ledger(store_dir);
+  std::cout << "ledger: claims=" << ledger.total_claims
+            << " publishes=" << ledger.total_publishes
+            << " stale-detected=" << ledger.total_stales << "\n";
+  for (const auto& [hash, per] : ledger.jobs) {
+    std::cout << "  " << ExperimentService::job_resource(hash)
+              << "  claims=" << per.claims << " publishes=" << per.publishes
+              << " stales=" << per.stales << "\n";
+  }
+
   print_counters(store.counters());
   return kExitOk;
 }
@@ -464,7 +525,10 @@ void print_toplevel_help() {
          "       hinetd <subcommand> --help   for per-subcommand flags\n\n"
       << exit_code_help() << "\n"
       << "signals: SIGINT/SIGTERM finish and journal the in-flight batch, "
-         "then exit 3 (resume with `hinetd run`)\n";
+         "then exit 3 (resume with `hinetd run`)\n"
+         "concurrency: N `hinetd run` processes may drain one store; "
+         "per-job leases + fencing make publishes exactly-once "
+         "(see `hinetd run --help`: --lease-ms, --drain-id)\n";
 }
 
 }  // namespace
